@@ -1,0 +1,141 @@
+//! Criterion benches — one group per experiment family (DESIGN.md §5):
+//! `alg1_broadcast` (E1), `alg2_gossip` (E6), `alg3_general` (E7),
+//! `baselines` (E13), `ablation` (E14). Each benches one representative
+//! end-to-end run; the statistical sweeps live in the `experiments`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio_core::broadcast::cr::{run_cr_broadcast, CrBroadcastConfig};
+use radio_core::broadcast::decay::{run_decay_broadcast, DecayConfig};
+use radio_core::broadcast::ee_general::{run_general_broadcast, GeneralBroadcastConfig};
+use radio_core::broadcast::ee_random::{run_ee_broadcast, EeBroadcastConfig};
+use radio_core::broadcast::eg::{run_eg_broadcast, EgBroadcastConfig};
+use radio_core::gossip::{run_ee_gossip, EeGossipConfig};
+use radio_graph::analysis::diameter_from;
+use radio_graph::generate::{caterpillar, gnp_directed};
+use radio_util::derive_rng;
+use std::hint::black_box;
+
+fn alg1_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1_broadcast");
+    for &n in &[2048usize, 8192] {
+        let p = 6.0 * (n as f64).ln() / n as f64;
+        let g = gnp_directed(n, p, &mut derive_rng(1, b"a1", 0));
+        let cfg = EeBroadcastConfig::for_gnp(n, p);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_ee_broadcast(g, 0, &cfg, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn alg2_gossip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg2_gossip");
+    group.sample_size(10);
+    let n = 1024;
+    let p = 6.0 * (n as f64).ln() / n as f64;
+    let g = gnp_directed(n, p, &mut derive_rng(2, b"a2", 0));
+    let cfg = EeGossipConfig {
+        tracked: Some(64),
+        ..EeGossipConfig::for_gnp(n, p)
+    };
+    group.bench_function(BenchmarkId::from_parameter(n), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_ee_gossip(&g, &cfg, seed))
+        });
+    });
+    group.finish();
+}
+
+fn alg3_general(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg3_general");
+    group.sample_size(10);
+    let g = caterpillar(64, 15); // n = 1024, D = 65
+    let n = g.n();
+    let d = diameter_from(&g, 0).expect("connected");
+    let cfg = GeneralBroadcastConfig::new_timed(n, d);
+    group.bench_function("caterpillar_1024", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_general_broadcast(&g, 0, &cfg, seed))
+        });
+    });
+    group.finish();
+}
+
+fn baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    let g = caterpillar(64, 15);
+    let n = g.n();
+    let d = diameter_from(&g, 0).expect("connected");
+    group.bench_function("cr_caterpillar_1024", |b| {
+        let cfg = CrBroadcastConfig::new_timed(n, d);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_cr_broadcast(&g, 0, &cfg, seed))
+        });
+    });
+    group.bench_function("decay_caterpillar_1024", |b| {
+        let cfg = DecayConfig::new(n, d);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_decay_broadcast(&g, 0, &cfg, seed))
+        });
+    });
+    let np = 2048;
+    let p = 6.0 * (np as f64).ln() / np as f64;
+    let gr = gnp_directed(np, p, &mut derive_rng(3, b"bl", 0));
+    group.bench_function("eg_gnp_2048", |b| {
+        let cfg = EgBroadcastConfig::for_gnp(np, p);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_eg_broadcast(&gr, 0, &cfg, seed))
+        });
+    });
+    group.finish();
+}
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    let g = caterpillar(24, 63);
+    let n = g.n();
+    let d = diameter_from(&g, 0).expect("connected");
+    for private in [false, true] {
+        let cfg = GeneralBroadcastConfig {
+            private_sequence: private,
+            early_stop: true,
+            ..GeneralBroadcastConfig::new(n, d)
+        };
+        let name = if private { "alg3_private_seq" } else { "alg3_shared_seq" };
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_general_broadcast(&g, 0, &cfg, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    alg1_broadcast,
+    alg2_gossip,
+    alg3_general,
+    baselines,
+    ablation
+);
+criterion_main!(benches);

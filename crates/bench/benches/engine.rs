@@ -1,0 +1,54 @@
+//! Criterion benches for the simulation substrate: engine round
+//! throughput under broadcast- and gossip-shaped loads. Regressions here
+//! silently inflate every experiment's wall time, so they get their own
+//! gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use radio_core::broadcast::flood::{run_flood_broadcast, FloodConfig};
+use radio_core::gossip::{run_ee_gossip, EeGossipConfig};
+use radio_graph::generate::gnp_directed;
+use radio_util::derive_rng;
+use std::hint::black_box;
+
+/// Probabilistic flooding for a fixed number of rounds: measures the
+/// poll/scatter/deliver loop with a large always-awake frontier.
+fn bench_broadcast_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_broadcast_rounds");
+    for &n in &[1024usize, 4096, 16384] {
+        let p = 6.0 * (n as f64).ln() / n as f64;
+        let g = gnp_directed(n, p, &mut derive_rng(1, b"bench-g", 0));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let cfg = FloodConfig::with_prob(1.0 / (n as f64 * p), 200);
+                black_box(run_flood_broadcast(g, 0, &cfg, 42))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Gossip rounds: adds per-transmitter rumor-set cloning and per-delivery
+/// unioning to the engine loop (the heaviest message type in the repo).
+fn bench_gossip_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_gossip_rounds");
+    group.sample_size(10);
+    for &n in &[512usize, 2048] {
+        let p = 6.0 * (n as f64).ln() / n as f64;
+        let g = gnp_directed(n, p, &mut derive_rng(2, b"bench-g", 0));
+        let cfg = EeGossipConfig {
+            gamma: 0.5, // fixed, short schedule: benches rounds, not completion
+            early_stop: false,
+            tracked: None,
+            ..EeGossipConfig::for_gnp(n, p)
+        };
+        group.throughput(Throughput::Elements(cfg.schedule_rounds()));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(run_ee_gossip(g, &cfg, 42)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast_rounds, bench_gossip_rounds);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches for the graph generators: the experiment sweeps
+//! build thousands of graphs, so `gnp_directed`'s geometric-skip path and
+//! the geometric generator's grid bucketing are hot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use radio_graph::generate::{gnp_directed, lower_bound_net, random_geometric, GeoParams};
+use radio_util::derive_rng;
+use std::hint::black_box;
+
+fn bench_gnp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gen_gnp_directed");
+    for &n in &[4096usize, 16384, 65536] {
+        let p = 6.0 * (n as f64).ln() / n as f64;
+        let m = (n as f64 * n as f64 * p) as u64;
+        group.throughput(Throughput::Elements(m));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                black_box(gnp_directed(n, p, &mut derive_rng(i, b"bench", 0)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_geometric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gen_random_geometric");
+    for &n in &[4096usize, 16384] {
+        let params = GeoParams::with_expected_degree(n, 30.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                black_box(random_geometric(n, params.r_min, &mut derive_rng(i, b"bench", 1)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lower_bound_net(c: &mut Criterion) {
+    c.bench_function("gen_lower_bound_net_k10_d512", |b| {
+        b.iter(|| black_box(lower_bound_net(10, 512)));
+    });
+}
+
+criterion_group!(benches, bench_gnp, bench_geometric, bench_lower_bound_net);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! **E1 — Theorem 2.1.** Algorithm 1 on directed `G(n,p)`:
+//! time `O(log n)`, ≤ 1 transmission per node, total `O(log n / p)`.
+
+use crate::{common::pm, Ctx, Report};
+use radio_core::broadcast::ee_random::{run_ee_broadcast, EeBroadcastConfig};
+use radio_graph::generate::gnp_directed;
+use radio_sim::parallel_trials;
+use radio_stats::SummaryStats;
+use radio_util::{derive_rng, TextTable};
+
+struct Row {
+    n: usize,
+    regime: &'static str,
+    p: f64,
+}
+
+pub fn run(ctx: &Ctx) -> Report {
+    let mut report = Report::new(
+        "e1",
+        "E1 — Theorem 2.1: Algorithm 1 on G(n,p) (time, energy, ≤1 msg/node)",
+    );
+    let trials = ctx.trials(30, 8);
+
+    let mut rows = Vec::new();
+    for n in [1024usize, 2048, 4096, 8192, 16384] {
+        rows.push(Row {
+            n,
+            regime: "sparse δ=6",
+            p: 6.0 * (n as f64).ln() / n as f64,
+        });
+    }
+    // T = 3 sits at the d³ = n saturation boundary: Phase 1's third round
+    // already burns the collision budget and Phase 2 under-activates
+    // (A₀ ≈ 10 < ln n), stranding a handful of nodes per run under the
+    // literal Phase-2 reading. E14(a) shows the lenient reading repairs it.
+    if ctx.scale >= 0.9 {
+        rows.push(Row {
+            n: 1 << 18,
+            regime: "T=3 boundary",
+            p: 64.0 / (1 << 18) as f64,
+        });
+    }
+    // Below the δ threshold: d = n^{1/3} ≈ 2·ln n at this size. The paper
+    // requires δ "sufficiently large"; this row shows what breaks first
+    // (Phase 2 under-activates, stranding Θ(e^{−A₀}·n) nodes).
+    rows.push(Row {
+        n: 4096,
+        regime: "below-δ (d=16)",
+        p: 16.0 / 4096.0,
+    });
+    for n in [2048usize, 8192] {
+        // Dense branch (no Phase 2): p = n^{-1/3} > n^{-2/5}.
+        rows.push(Row {
+            n,
+            regime: "dense p=n^(-1/3)",
+            p: (n as f64).powf(-1.0 / 3.0),
+        });
+    }
+
+    let mut table = TextTable::new(&[
+        "n",
+        "regime",
+        "d=np",
+        "T",
+        "success",
+        "informed frac",
+        "bcast time",
+        "time/log2 n",
+        "max msg/node",
+        "total msgs",
+        "msgs·p/ln n",
+    ]);
+
+    for row in &rows {
+        let cfg = EeBroadcastConfig::for_gnp(row.n, row.p);
+        let outs = parallel_trials(trials, ctx.seed ^ row.n as u64, |_, seed| {
+            let g = gnp_directed(row.n, row.p, &mut derive_rng(seed, b"e1-g", 0));
+            let out = run_ee_broadcast(&g, 0, &cfg, seed);
+            (
+                out.all_informed,
+                out.broadcast_time,
+                out.max_msgs_per_node(),
+                out.metrics.total_transmissions(),
+                out.informed,
+            )
+        });
+        let successes = outs.iter().filter(|o| o.0).count();
+        let times: Vec<f64> = outs
+            .iter()
+            .filter_map(|o| o.1.map(|t| t as f64))
+            .collect();
+        let max_msg = outs.iter().map(|o| o.2).max().unwrap_or(0);
+        let totals: Vec<f64> = outs.iter().map(|o| o.3 as f64).collect();
+        let informed_frac: Vec<f64> = outs.iter().map(|o| o.4 as f64 / row.n as f64).collect();
+        let total_stats = SummaryStats::from_slice(&totals);
+        let log2n = (row.n as f64).log2();
+        let (time_str, ratio_str) = if times.is_empty() {
+            ("—".to_string(), "—".to_string())
+        } else {
+            let t_stats = SummaryStats::from_slice(&times);
+            (pm(&t_stats), format!("{:.2}", t_stats.mean / log2n))
+        };
+        table.row(&[
+            row.n.to_string(),
+            row.regime.to_string(),
+            format!("{:.0}", row.n as f64 * row.p),
+            cfg.params.t.to_string(),
+            format!("{successes}/{trials}"),
+            format!("{:.5}", radio_stats::mean(&informed_frac)),
+            time_str,
+            ratio_str,
+            max_msg.to_string(),
+            format!("{:.0}", total_stats.mean),
+            format!("{:.2}", total_stats.mean * row.p / (row.n as f64).ln()),
+        ]);
+    }
+
+    report.para(format!(
+        "{} trials per row; `success` counts runs informing all n nodes (failures at \
+         these sizes strand 1–2 nodes with no Phase-2-activated in-neighbour, an \
+         e^(−A₀)·n finite-size effect). Paper claims: max msg/node ≤ 1 (always), \
+         time/log₂ n bounded (O(log n)), msgs·p/ln n bounded (total O(log n/p)).",
+        trials
+    ));
+    report.table(&table);
+    report
+}

@@ -1,0 +1,103 @@
+//! **E2 — Lemmas 2.3 & 2.4.** Phase-1 growth: the active set multiplies
+//! by a factor in `[d/16, 2d]` per round, landing at `|U_{T+1}| = Θ(d^T)`.
+
+use crate::{Ctx, Report};
+use radio_core::broadcast::ee_random::{run_ee_broadcast_traced, EeBroadcastConfig};
+use radio_graph::generate::gnp_directed;
+use radio_sim::parallel_trials;
+use radio_stats::SummaryStats;
+use radio_util::{derive_rng, TextTable};
+
+pub fn run(ctx: &Ctx) -> Report {
+    let mut report = Report::new(
+        "e2",
+        "E2 — Lemmas 2.3/2.4: Phase-1 active-set growth on G(n,p)",
+    );
+    let trials = ctx.trials(20, 6);
+
+    // d ≈ n^{1/3} gives T = 3 Phase-1 rounds at n = 2^15.
+    let mut table = TextTable::new(&[
+        "n",
+        "d",
+        "T",
+        "round",
+        "growth |U_{t+1}|/|U_t|",
+        "growth/d",
+        "in [d/16, 2d]?",
+    ]);
+    let mut final_table = TextTable::new(&["n", "d", "T", "|U_{T+1}|/d^T (mean)", "paper range [c1, c2]"]);
+
+    for n in [4096usize, 32768] {
+        let d_target = (n as f64).powf(1.0 / 3.0).round();
+        let p = d_target / n as f64;
+        let cfg = EeBroadcastConfig::for_gnp(n, p);
+        let t_phase1 = cfg.params.t as usize;
+        let d = cfg.params.d;
+
+        // Collect the active-series for each trial.
+        let traces = parallel_trials(trials, ctx.seed ^ (n as u64) << 1, |_, seed| {
+            let g = gnp_directed(n, p, &mut derive_rng(seed, b"e2-g", 0));
+            let out = run_ee_broadcast_traced(&g, 0, &cfg, seed);
+            out.trace.expect("traced").active_series()
+        });
+
+        // Per-round growth factors. active_series[r] = |U_{r+2}| after
+        // round r+1; |U_1| = 1 (the source).
+        for round in 0..t_phase1 {
+            let growths: Vec<f64> = traces
+                .iter()
+                .filter_map(|s| {
+                    let prev = if round == 0 {
+                        1.0
+                    } else {
+                        s.get(round - 1).copied().unwrap_or(0) as f64
+                    };
+                    let next = s.get(round).copied().unwrap_or(0) as f64;
+                    (prev > 0.0).then_some(next / prev)
+                })
+                .collect();
+            if growths.is_empty() {
+                continue;
+            }
+            let st = SummaryStats::from_slice(&growths);
+            let within = growths
+                .iter()
+                .filter(|&&g| g >= d / 16.0 && g <= 2.0 * d)
+                .count();
+            table.row(&[
+                n.to_string(),
+                format!("{d:.0}"),
+                t_phase1.to_string(),
+                (round + 1).to_string(),
+                format!("{:.1} ± {:.1}", st.mean, st.ci95_half_width()),
+                format!("{:.2}", st.mean / d),
+                format!("{within}/{}", growths.len()),
+            ]);
+        }
+
+        // |U_{T+1}| concentration (Lemma 2.4): measured against d^T.
+        let finals: Vec<f64> = traces
+            .iter()
+            .filter_map(|s| s.get(t_phase1 - 1).map(|&u| u as f64 / d.powi(t_phase1 as i32)))
+            .collect();
+        let st = SummaryStats::from_slice(&finals);
+        final_table.row(&[
+            n.to_string(),
+            format!("{d:.0}"),
+            t_phase1.to_string(),
+            format!("{:.3} (min {:.3}, max {:.3})", st.mean, st.min, st.max),
+            "[1.5e-7, 43.5] (loose theory constants)".to_string(),
+        ]);
+    }
+
+    report.para(format!(
+        "{trials} traced runs per n. Lemma 2.3 predicts per-round growth in \
+         [d/16, 2d]; in practice the factor hugs d·e^{{−dp·|U|}} ≈ d early on. \
+         Lemma 2.4's constants c1 = 16⁻⁴4⁻³, c2 = 16e are astronomically loose; \
+         the measured |U_(T+1)|/d^T ratio lands well inside them."
+    ));
+    report.table(&table);
+    report.para("Final Phase-1 size (Lemma 2.4):");
+    report.table(&final_table);
+    report
+}

@@ -1,0 +1,85 @@
+//! **E6 — Theorem 3.2.** Algorithm 2 gossip: time `O(d log n)`, per-node
+//! transmissions `O(log n)`, tightly concentrated.
+
+use crate::{Ctx, Report};
+use radio_core::gossip::{run_ee_gossip, EeGossipConfig};
+use radio_graph::generate::gnp_directed;
+use radio_sim::parallel_trials;
+use radio_stats::SummaryStats;
+use radio_util::{derive_rng, TextTable};
+
+pub fn run(ctx: &Ctx) -> Report {
+    let mut report = Report::new(
+        "e6",
+        "E6 — Theorem 3.2: Algorithm 2 gossiping time and per-node energy",
+    );
+    let trials = ctx.trials(12, 4);
+
+    let mut table = TextTable::new(&[
+        "n",
+        "d",
+        "success",
+        "gossip time",
+        "time/(d·log2 n)",
+        "max msgs/node",
+        "mean msgs/node",
+        "msgs/log2 n",
+    ]);
+
+    for (n, delta) in [
+        (512usize, 6.0),
+        (1024, 6.0),
+        (2048, 6.0),
+        (4096, 6.0),
+        (1024, 12.0),
+        (2048, 12.0),
+    ] {
+        let p = delta * (n as f64).ln() / n as f64;
+        let cfg = EeGossipConfig {
+            tracked: Some(64.min(n)),
+            ..EeGossipConfig::for_gnp(n, p)
+        };
+        let d = cfg.params.d;
+        let outs = parallel_trials(trials, ctx.seed ^ (n as u64 * delta as u64), |_, seed| {
+            let g = gnp_directed(n, p, &mut derive_rng(seed, b"e6-g", 0));
+            let out = run_ee_gossip(&g, &cfg, seed);
+            (
+                out.completed,
+                out.gossip_time.map(|t| t as f64),
+                out.max_msgs_per_node() as f64,
+                out.mean_msgs_per_node(),
+            )
+        });
+        let successes = outs.iter().filter(|o| o.0).count();
+        let times: Vec<f64> = outs.iter().filter_map(|o| o.1).collect();
+        let maxs: Vec<f64> = outs.iter().map(|o| o.2).collect();
+        let means: Vec<f64> = outs.iter().map(|o| o.3).collect();
+        if times.is_empty() {
+            continue;
+        }
+        let t = SummaryStats::from_slice(&times);
+        let mx = SummaryStats::from_slice(&maxs);
+        let mn = SummaryStats::from_slice(&means);
+        let log2n = (n as f64).log2();
+        table.row(&[
+            n.to_string(),
+            format!("{d:.0}"),
+            format!("{successes}/{trials}"),
+            format!("{:.0} ± {:.0}", t.mean, t.ci95_half_width()),
+            format!("{:.2}", t.mean / (d * log2n)),
+            format!("{:.1}", mx.mean),
+            format!("{:.1}", mn.mean),
+            format!("{:.2}", mx.mean / log2n),
+        ]);
+    }
+
+    report.para(format!(
+        "{trials} runs per row, early-stopping on completion (64 tracked rumors — \
+         content-independent dynamics make sampling exact for time/energy). \
+         Theorem 3.2's shape: time/(d·log n) and msgs/log n stay bounded as n \
+         grows; doubling δ (hence d) leaves msgs/node unchanged while time \
+         scales with d."
+    ));
+    report.table(&table);
+    report
+}

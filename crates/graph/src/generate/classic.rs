@@ -1,0 +1,186 @@
+//! Deterministic network shapes for the general-network experiments
+//! (Theorems 4.1 and 4.2 hold for *arbitrary* graphs with known diameter;
+//! these families let us sweep `D` from `Θ(log n)` to `Θ(n)`).
+//!
+//! All shapes here use *mutual* edges (undirected radio links) unless the
+//! name says otherwise, matching the intuition of identical communication
+//! ranges; the paper's algorithms never assume symmetry.
+
+use crate::{DiGraph, GraphBuilder, NodeId};
+
+/// Path `0 — 1 — … — n−1` with mutual edges. Diameter `n − 1`.
+pub fn path(n: usize) -> DiGraph {
+    let mut b = GraphBuilder::with_capacity(n, 2 * n.saturating_sub(1));
+    for i in 1..n as NodeId {
+        b.add_undirected(i - 1, i);
+    }
+    b.build()
+}
+
+/// Cycle on `n ≥ 3` nodes with mutual edges. Diameter `⌊n/2⌋`.
+pub fn cycle(n: usize) -> DiGraph {
+    assert!(n >= 3, "cycle needs n ≥ 3, got {n}");
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for i in 1..n as NodeId {
+        b.add_undirected(i - 1, i);
+    }
+    b.add_undirected(n as NodeId - 1, 0);
+    b.build()
+}
+
+/// Star with centre `0` and `n − 1` leaves, mutual edges. Diameter 2.
+pub fn star(n: usize) -> DiGraph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n, 2 * n.saturating_sub(1));
+    for leaf in 1..n as NodeId {
+        b.add_undirected(0, leaf);
+    }
+    b.build()
+}
+
+/// Complete graph (every pair mutual). Diameter 1.
+pub fn complete(n: usize) -> DiGraph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1));
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            b.add_undirected(u, v);
+        }
+    }
+    b.build()
+}
+
+/// `w × h` 4-neighbour grid, mutual edges; node `(x, y)` is `y·w + x`.
+/// Diameter `w + h − 2`.
+pub fn grid2d(w: usize, h: usize) -> DiGraph {
+    let n = w * h;
+    let id = |x: usize, y: usize| (y * w + x) as NodeId;
+    let mut b = GraphBuilder::with_capacity(n, 4 * n);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_undirected(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < h {
+                b.add_undirected(id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree on `n` nodes (heap layout: children of `i` are
+/// `2i+1`, `2i+2`), mutual edges. Diameter `Θ(log n)`.
+pub fn binary_tree(n: usize) -> DiGraph {
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for i in 0..n {
+        for c in [2 * i + 1, 2 * i + 2] {
+            if c < n {
+                b.add_undirected(i as NodeId, c as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Caterpillar: a spine path of `spine` nodes, each carrying `legs` leaf
+/// nodes, all edges mutual. `n = spine · (1 + legs)`, diameter
+/// `spine + 1` (leaf → spine → … → spine → leaf). This family decouples
+/// `n` from `D`, which the Theorem 4.1/4.2 sweeps need.
+pub fn caterpillar(spine: usize, legs: usize) -> DiGraph {
+    assert!(spine >= 1);
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::with_capacity(n, 2 * n + 2 * spine);
+    for s in 1..spine {
+        b.add_undirected((s - 1) as NodeId, s as NodeId);
+    }
+    // Leaves of spine node s occupy ids spine + s·legs .. spine + (s+1)·legs.
+    for s in 0..spine {
+        for l in 0..legs {
+            let leaf = (spine + s * legs + l) as NodeId;
+            b.add_undirected(s as NodeId, leaf);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{diameter_from, is_strongly_connected};
+
+    #[test]
+    fn path_shape() {
+        let g = path(10);
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 18);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_degree(5), 2);
+        assert_eq!(diameter_from(&g, 0), Some(9));
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn single_node_path() {
+        let g = path(1);
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.m(), 0);
+        assert_eq!(diameter_from(&g, 0), Some(0));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(8);
+        assert_eq!(g.m(), 16);
+        assert!((0..8).all(|u| g.out_degree(u) == 2));
+        assert_eq!(diameter_from(&g, 0), Some(4));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(17);
+        assert_eq!(g.out_degree(0), 16);
+        assert!((1..17).all(|u| g.out_degree(u) == 1));
+        assert_eq!(diameter_from(&g, 1), Some(2));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(9);
+        assert_eq!(g.m(), 72);
+        assert_eq!(diameter_from(&g, 3), Some(1));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid2d(5, 4);
+        assert_eq!(g.n(), 20);
+        // Interior degree 4, corner degree 2.
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree((5 + 1) as NodeId), 4);
+        assert_eq!(diameter_from(&g, 0), Some(7));
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(15); // perfect tree of height 3
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(7), 1); // a leaf
+        assert_eq!(diameter_from(&g, 0), Some(3));
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let spine = 6;
+        let legs = 3;
+        let g = caterpillar(spine, legs);
+        assert_eq!(g.n(), 24);
+        assert!(is_strongly_connected(&g));
+        // Spine ends have 1 spine edge + legs; interior 2 + legs.
+        assert_eq!(g.out_degree(0), 1 + legs);
+        assert_eq!(g.out_degree(2), 2 + legs);
+        // Eccentricity of spine end 0: spine-1 hops + 1 into the last leaf.
+        assert_eq!(diameter_from(&g, 0), Some(spine as u32));
+    }
+}

@@ -1,0 +1,321 @@
+//! Random geometric (unit-disk) radio networks.
+//!
+//! The paper's §5 names random geometric graphs as the natural next model
+//! ("the Erdös–Rényi model … appears to be somewhat unrealistic for
+//! practical AdHoc networks"), and its §1 motivates *heterogeneous* ranges
+//! ("one device may be able to listen to messages sent out by a node in
+//! its communication range, but not vice-versa"). Both variants live here:
+//!
+//! * [`random_geometric`] — all nodes share one radius → symmetric edges.
+//! * [`random_geometric_directed`] — per-node radii drawn from an interval
+//!   → genuinely directed links, exactly the asymmetry the paper's model
+//!   permits.
+//!
+//! Points are uniform on the **unit torus** (wrap-around distance), which
+//! removes boundary effects and keeps the expected degree `n·π·r²`
+//! uniform across nodes — the property the `G(n,p)` analysis leans on.
+//! Neighbour search uses a spatial grid with cell width ≥ max radius, so
+//! generation is `O(n · E[deg])`.
+
+use crate::{DiGraph, GraphBuilder, NodeId};
+use rand::{Rng, RngExt};
+
+/// Parameters for geometric generation.
+#[derive(Debug, Clone, Copy)]
+pub struct GeoParams {
+    /// Number of nodes.
+    pub n: usize,
+    /// Minimum transmission radius (torus metric).
+    pub r_min: f64,
+    /// Maximum transmission radius. Equal to `r_min` for the symmetric model.
+    pub r_max: f64,
+}
+
+impl GeoParams {
+    /// Homogeneous radius `r` for all nodes.
+    pub fn uniform(n: usize, r: f64) -> Self {
+        GeoParams {
+            n,
+            r_min: r,
+            r_max: r,
+        }
+    }
+
+    /// Radius giving expected degree `d` on the unit torus: `π r² n = d`.
+    pub fn with_expected_degree(n: usize, d: f64) -> Self {
+        let r = (d / (std::f64::consts::PI * n as f64)).sqrt();
+        Self::uniform(n, r)
+    }
+}
+
+/// Squared torus distance between two points of the unit square.
+#[inline]
+fn torus_dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let mut dx = (a.0 - b.0).abs();
+    let mut dy = (a.1 - b.1).abs();
+    if dx > 0.5 {
+        dx = 1.0 - dx;
+    }
+    if dy > 0.5 {
+        dy = 1.0 - dy;
+    }
+    dx * dx + dy * dy
+}
+
+/// Core generator: positions, radii, grid bucketing, edge emission.
+/// Edge rule: `u → v` iff `dist(u, v) ≤ radius[u]` (u's range covers v).
+fn generate<R: Rng + ?Sized>(params: GeoParams, rng: &mut R) -> (DiGraph, Vec<(f64, f64)>) {
+    let GeoParams { n, r_min, r_max } = params;
+    assert!(r_min > 0.0 && r_max >= r_min && r_max <= 0.5, "radii must satisfy 0 < r_min ≤ r_max ≤ 0.5 (torus)");
+    let pos: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+        .collect();
+    let radius: Vec<f64> = if (r_max - r_min).abs() < f64::EPSILON {
+        vec![r_min; n]
+    } else {
+        (0..n).map(|_| rng.random_range(r_min..=r_max)).collect()
+    };
+
+    // Grid with cell width ≥ r_max so all candidates live in the 3×3
+    // neighbourhood of a node's cell.
+    let cells = ((1.0 / r_max).floor() as usize).max(1);
+    let cell_of = |p: (f64, f64)| -> (usize, usize) {
+        let cx = ((p.0 * cells as f64) as usize).min(cells - 1);
+        let cy = ((p.1 * cells as f64) as usize).min(cells - 1);
+        (cx, cy)
+    };
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); cells * cells];
+    for (i, &p) in pos.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        buckets[cy * cells + cx].push(i as NodeId);
+    }
+
+    let mut b = GraphBuilder::with_capacity(
+        n,
+        (n as f64 * std::f64::consts::PI * r_max * r_max * n as f64) as usize + 16,
+    );
+    for u in 0..n {
+        let pu = pos[u];
+        let ru2 = radius[u] * radius[u];
+        let (cx, cy) = cell_of(pu);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let bx = (cx as i64 + dx).rem_euclid(cells as i64) as usize;
+                let by = (cy as i64 + dy).rem_euclid(cells as i64) as usize;
+                for &v in &buckets[by * cells + bx] {
+                    if v as usize != u && torus_dist2(pu, pos[v as usize]) <= ru2 {
+                        b.add_edge(u as NodeId, v);
+                    }
+                }
+            }
+        }
+    }
+    (b.build(), pos)
+}
+
+/// Symmetric random geometric graph: `n` uniform torus points, mutual edge
+/// iff distance ≤ `r`. Returns the graph and node positions.
+pub fn random_geometric<R: Rng + ?Sized>(
+    n: usize,
+    r: f64,
+    rng: &mut R,
+) -> (DiGraph, Vec<(f64, f64)>) {
+    generate(GeoParams::uniform(n, r), rng)
+}
+
+/// Heterogeneous-range geometric graph: each node draws its own radius
+/// uniformly from `[params.r_min, params.r_max]`; edge `u → v` iff
+/// `dist ≤ radius(u)`. Asymmetric whenever radii differ.
+pub fn random_geometric_directed<R: Rng + ?Sized>(
+    params: GeoParams,
+    rng: &mut R,
+) -> (DiGraph, Vec<(f64, f64)>) {
+    generate(params, rng)
+}
+
+/// Core generator for fixed positions (mobility snapshots).
+fn graph_for_positions(pos: &[(f64, f64)], r: f64) -> DiGraph {
+    let n = pos.len();
+    let cells = ((1.0 / r).floor() as usize).max(1);
+    let cell_of = |p: (f64, f64)| -> (usize, usize) {
+        let cx = ((p.0 * cells as f64) as usize).min(cells - 1);
+        let cy = ((p.1 * cells as f64) as usize).min(cells - 1);
+        (cx, cy)
+    };
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); cells * cells];
+    for (i, &p) in pos.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        buckets[cy * cells + cx].push(i as NodeId);
+    }
+    let mut b = GraphBuilder::with_capacity(
+        n,
+        (n as f64 * std::f64::consts::PI * r * r * n as f64) as usize + 16,
+    );
+    let r2 = r * r;
+    for u in 0..n {
+        let pu = pos[u];
+        let (cx, cy) = cell_of(pu);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let bx = (cx as i64 + dx).rem_euclid(cells as i64) as usize;
+                let by = (cy as i64 + dy).rem_euclid(cells as i64) as usize;
+                for &v in &buckets[by * cells + bx] {
+                    if v as usize != u && torus_dist2(pu, pos[v as usize]) <= r2 {
+                        b.add_edge(u as NodeId, v);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// A sequence of geometric-graph snapshots under node mobility: `n`
+/// points start uniform on the torus and take independent Gaussian steps
+/// of standard deviation `sigma` per snapshot (a Brownian / random-walk
+/// mobility model). All snapshots share the radius `r`.
+///
+/// Pair with `radio_sim::engine::run_dynamic`-style round-segmented
+/// execution to study the paper's motivating scenario, protocols on a
+/// topology that changes underneath them.
+///
+/// # Panics
+/// Panics unless `snapshots ≥ 1`, `0 < r ≤ 0.5` and `sigma ≥ 0`.
+pub fn mobile_geometric_sequence<R: Rng + ?Sized>(
+    n: usize,
+    r: f64,
+    sigma: f64,
+    snapshots: usize,
+    rng: &mut R,
+) -> Vec<DiGraph> {
+    assert!(snapshots >= 1);
+    assert!(r > 0.0 && r <= 0.5);
+    assert!(sigma >= 0.0);
+    let mut pos: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+        .collect();
+    let mut out = Vec::with_capacity(snapshots);
+    for step in 0..snapshots {
+        if step > 0 && sigma > 0.0 {
+            for p in pos.iter_mut() {
+                // Box–Muller Gaussian step, wrapped onto the torus.
+                let u1: f64 = (1.0 - rng.random::<f64>()).max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.random::<f64>();
+                let mag = sigma * (-2.0 * u1.ln()).sqrt();
+                let dx = mag * (2.0 * std::f64::consts::PI * u2).cos();
+                let dy = mag * (2.0 * std::f64::consts::PI * u2).sin();
+                p.0 = (p.0 + dx).rem_euclid(1.0);
+                p.1 = (p.1 + dy).rem_euclid(1.0);
+            }
+        }
+        out.push(graph_for_positions(&pos, r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_util::derive_rng;
+
+    #[test]
+    fn symmetric_model_is_symmetric() {
+        let mut rng = derive_rng(11, b"geo", 0);
+        let (g, pos) = random_geometric(400, 0.08, &mut rng);
+        assert_eq!(pos.len(), 400);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn edges_respect_radius_exactly() {
+        let mut rng = derive_rng(12, b"geo", 0);
+        let r = 0.1;
+        let (g, pos) = random_geometric(200, r, &mut rng);
+        for u in 0..200usize {
+            for v in 0..200usize {
+                if u == v {
+                    continue;
+                }
+                let within = torus_dist2(pos[u], pos[v]) <= r * r;
+                assert_eq!(
+                    g.has_edge(u as NodeId, v as NodeId),
+                    within,
+                    "edge ({u},{v}) mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expected_degree_calibration() {
+        let mut rng = derive_rng(13, b"geo", 0);
+        let n = 3000;
+        let d = 25.0;
+        let params = GeoParams::with_expected_degree(n, d);
+        let (g, _) = random_geometric(n, params.r_min, &mut rng);
+        let mean_deg = g.m() as f64 / n as f64;
+        assert!(
+            (mean_deg - d).abs() < 0.15 * d,
+            "mean degree {mean_deg}, wanted ≈ {d}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_ranges_are_directed() {
+        let mut rng = derive_rng(14, b"geo", 0);
+        let params = GeoParams {
+            n: 500,
+            r_min: 0.03,
+            r_max: 0.12,
+        };
+        let (g, _) = random_geometric_directed(params, &mut rng);
+        // With a 4× radius spread some links must be one-way.
+        let asym = g.edges().filter(|&(u, v)| !g.has_edge(v, u)).count();
+        assert!(asym > 0, "expected asymmetric links");
+        assert!(!g.is_symmetric());
+    }
+
+    #[test]
+    fn torus_distance_wraps() {
+        assert!(torus_dist2((0.05, 0.5), (0.95, 0.5)) < 0.011);
+        assert!((torus_dist2((0.0, 0.0), (0.5, 0.5)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (g1, _) = random_geometric(300, 0.07, &mut derive_rng(15, b"geo", 0));
+        let (g2, _) = random_geometric(300, 0.07, &mut derive_rng(15, b"geo", 0));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn mobility_sequence_drifts_gradually() {
+        let mut rng = derive_rng(16, b"geo", 0);
+        let seq = mobile_geometric_sequence(300, 0.1, 0.02, 5, &mut rng);
+        assert_eq!(seq.len(), 5);
+        // Consecutive snapshots share most edges; distant ones share fewer.
+        let overlap = |a: &crate::DiGraph, b: &crate::DiGraph| -> f64 {
+            let shared = a.edges().filter(|&(u, v)| b.has_edge(u, v)).count();
+            shared as f64 / a.m().max(1) as f64
+        };
+        let near = overlap(&seq[0], &seq[1]);
+        let far = overlap(&seq[0], &seq[4]);
+        assert!(near > 0.5, "σ = 0.02 steps should keep most edges ({near})");
+        assert!(far < near, "drift should accumulate ({far} !< {near})");
+    }
+
+    #[test]
+    fn zero_sigma_freezes_topology() {
+        let mut rng = derive_rng(17, b"geo", 0);
+        let seq = mobile_geometric_sequence(200, 0.1, 0.0, 3, &mut rng);
+        assert_eq!(seq[0], seq[1]);
+        assert_eq!(seq[1], seq[2]);
+    }
+
+    #[test]
+    fn all_snapshots_share_node_count() {
+        let mut rng = derive_rng(18, b"geo", 0);
+        let seq = mobile_geometric_sequence(150, 0.09, 0.05, 4, &mut rng);
+        assert!(seq.iter().all(|g| g.n() == 150));
+    }
+}

@@ -1,0 +1,206 @@
+//! Erdős–Rényi random networks.
+//!
+//! The paper's §1.2: *"For random graphs, we use the directed version of
+//! the standard model `G(n,p)`, where node `v` has an edge to node `w`
+//! with probability `p`. Let `d = np` be the average in and out degree."*
+//!
+//! Sparse generation uses geometric skipping (Batagelj–Brandes): instead
+//! of flipping `n(n−1)` coins, jump between successful pairs with
+//! geometrically distributed gaps, giving `O(n + m)` expected time. This
+//! matters: the experiment sweeps build thousands of graphs with
+//! `n ≤ 2¹⁷`.
+
+use crate::{DiGraph, NodeId};
+use rand::{Rng, RngExt};
+
+/// Sample the gap to the next success of a Bernoulli(`p`) sequence:
+/// `⌊ln(U) / ln(1−p)⌋` for `U ~ Uniform(0,1]`.
+#[inline]
+fn geometric_skip<R: Rng + ?Sized>(rng: &mut R, log1mp: f64) -> u64 {
+    // `1.0 - random::<f64>()` lies in (0, 1], so `ln` is finite & ≤ 0.
+    let u: f64 = 1.0 - rng.random::<f64>();
+    let skip = (u.ln() / log1mp).floor();
+    if skip >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        skip as u64
+    }
+}
+
+/// Directed `G(n, p)`: each ordered pair `(u, v)`, `u ≠ v`, carries the
+/// edge `u → v` independently with probability `p`.
+///
+/// # Panics
+/// Panics unless `0 ≤ p ≤ 1`.
+pub fn gnp_directed<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> DiGraph {
+    assert!((0.0..=1.0).contains(&p), "p = {p} out of [0,1]");
+    assert!(n as u64 <= u64::from(NodeId::MAX), "n too large for NodeId");
+    if n == 0 || p == 0.0 {
+        return DiGraph::from_sorted_unique_edges(n, Vec::new());
+    }
+    let total_pairs = (n as u64) * (n as u64 - 1);
+    let mut edges: Vec<(NodeId, NodeId)> =
+        Vec::with_capacity((total_pairs as f64 * p * 1.05) as usize + 16);
+    if p >= 1.0 {
+        for u in 0..n as NodeId {
+            for v in 0..n as NodeId {
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        return DiGraph::from_sorted_unique_edges(n, edges);
+    }
+    let log1mp = (1.0 - p).ln();
+    // Linear index i over ordered non-diagonal pairs:
+    //   u = i / (n−1); r = i % (n−1); v = r if r < u else r + 1.
+    let stride = n as u64 - 1;
+    let mut i: u64 = geometric_skip(rng, log1mp);
+    while i < total_pairs {
+        let u = (i / stride) as NodeId;
+        let r = (i % stride) as NodeId;
+        let v = if r < u { r } else { r + 1 };
+        edges.push((u, v));
+        i = i.saturating_add(1 + geometric_skip(rng, log1mp));
+    }
+    // Already sorted by construction (linear index is (u, v)-lexicographic)
+    // and duplicate-free, so skip the builder's sort.
+    DiGraph::from_sorted_unique_edges(n, edges)
+}
+
+/// Undirected `G(n, p)`: each unordered pair `{u, v}` carries *both*
+/// directed edges with probability `p` (mutual communication ranges).
+pub fn gnp_undirected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> DiGraph {
+    assert!((0.0..=1.0).contains(&p), "p = {p} out of [0,1]");
+    assert!(n as u64 <= u64::from(NodeId::MAX), "n too large for NodeId");
+    if n < 2 || p == 0.0 {
+        return DiGraph::from_sorted_unique_edges(n, Vec::new());
+    }
+    let total_pairs = (n as u64) * (n as u64 - 1) / 2;
+    let mut edges: Vec<(NodeId, NodeId)> =
+        Vec::with_capacity((total_pairs as f64 * p * 2.1) as usize + 16);
+    if p >= 1.0 {
+        for u in 0..n as NodeId {
+            for v in 0..n as NodeId {
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        return DiGraph::from_sorted_unique_edges(n, edges);
+    }
+    let log1mp = (1.0 - p).ln();
+    // Linear index over pairs (u, v) with u < v, row-major:
+    // row u holds n−1−u pairs. Walk rows while consuming the skip budget.
+    let mut i: u64 = geometric_skip(rng, log1mp);
+    let mut u: u64 = 0;
+    let mut row_start: u64 = 0; // linear index of pair (u, u+1)
+    while i < total_pairs {
+        let mut row_len = n as u64 - 1 - u;
+        while i >= row_start + row_len {
+            row_start += row_len;
+            u += 1;
+            row_len = n as u64 - 1 - u;
+        }
+        let v = u + 1 + (i - row_start);
+        edges.push((u as NodeId, v as NodeId));
+        edges.push((v as NodeId, u as NodeId));
+        i = i.saturating_add(1 + geometric_skip(rng, log1mp));
+    }
+    edges.sort_unstable();
+    DiGraph::from_sorted_unique_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_util::derive_rng;
+
+    #[test]
+    fn p_zero_and_one_extremes() {
+        let mut rng = derive_rng(1, b"gnp", 0);
+        let g0 = gnp_directed(50, 0.0, &mut rng);
+        assert_eq!(g0.m(), 0);
+        let g1 = gnp_directed(50, 1.0, &mut rng);
+        assert_eq!(g1.m(), 50 * 49);
+        let u1 = gnp_undirected(30, 1.0, &mut rng);
+        assert_eq!(u1.m(), 30 * 29);
+        assert!(u1.is_symmetric());
+    }
+
+    #[test]
+    fn directed_edge_count_concentrates() {
+        // m ~ Binomial(n(n−1), p): mean 9900·0.3 = 2970, sd ≈ 45.6.
+        let mut rng = derive_rng(2, b"gnp", 0);
+        let n = 100;
+        let p = 0.3;
+        let g = gnp_directed(n, p, &mut rng);
+        let mean = (n * (n - 1)) as f64 * p;
+        let sd = (mean * (1.0 - p)).sqrt();
+        let m = g.m() as f64;
+        assert!(
+            (m - mean).abs() < 6.0 * sd,
+            "m = {m}, expected ≈ {mean} ± {sd}"
+        );
+    }
+
+    #[test]
+    fn undirected_is_symmetric_and_concentrated() {
+        let mut rng = derive_rng(3, b"gnp", 0);
+        let n = 120;
+        let p = 0.2;
+        let g = gnp_undirected(n, p, &mut rng);
+        assert!(g.is_symmetric());
+        let pairs = (n * (n - 1) / 2) as f64;
+        let mean = 2.0 * pairs * p;
+        let sd = 2.0 * (pairs * p * (1.0 - p)).sqrt();
+        let m = g.m() as f64;
+        assert!(
+            (m - mean).abs() < 6.0 * sd,
+            "m = {m}, expected ≈ {mean} ± {sd}"
+        );
+    }
+
+    #[test]
+    fn no_self_loops_generated() {
+        let mut rng = derive_rng(4, b"gnp", 0);
+        for g in [
+            gnp_directed(64, 0.5, &mut rng),
+            gnp_undirected(64, 0.5, &mut rng),
+        ] {
+            assert!(g.edges().all(|(u, v)| u != v));
+        }
+    }
+
+    #[test]
+    fn sparse_degrees_concentrate_around_d() {
+        // d = np = 16; every node's out-degree should be within 6σ.
+        let mut rng = derive_rng(5, b"gnp", 0);
+        let n = 4096;
+        let d = 16.0;
+        let p = d / n as f64;
+        let g = gnp_directed(n, p, &mut rng);
+        let sd = (d * (1.0 - p)).sqrt();
+        for u in 0..n as NodeId {
+            let deg = g.out_degree(u) as f64;
+            assert!(
+                (deg - d).abs() < 8.0 * sd,
+                "node {u} out-degree {deg} far from d = {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g1 = gnp_directed(200, 0.05, &mut derive_rng(7, b"gnp", 0));
+        let g2 = gnp_directed(200, 0.05, &mut derive_rng(7, b"gnp", 0));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn empty_n() {
+        let mut rng = derive_rng(8, b"gnp", 0);
+        assert_eq!(gnp_directed(0, 0.5, &mut rng).n(), 0);
+        assert_eq!(gnp_undirected(1, 0.5, &mut rng).m(), 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! The paper's adversarial lower-bound constructions.
+//!
+//! * [`star_chain`] — Observation 4.3: a 3n+1-node network on which *any*
+//!   oblivious broadcast algorithm needs `n log n / 2` transmissions to
+//!   succeed with probability `1 − 1/n`.
+//! * [`lower_bound_net`] — Theorem 4.4 / **Figure 2**: a cascade of
+//!   exponentially growing stars `S₁ … S_{log n}` feeding a long path,
+//!   showing that time-invariant algorithms finishing in `c·D·log(n/D)`
+//!   rounds need `Ω(log² n / log(n/D))` transmissions per node.
+
+use crate::{DiGraph, GraphBuilder, NodeId};
+use std::ops::Range;
+
+/// The Observation 4.3 network, with role annotations.
+///
+/// Layout (ids): source `s = 0`; intermediates `u₁ … u_{2n}` at `1 ..= 2n`;
+/// destinations `d₁ … d_n` at `2n+1 ..= 3n`. Edges: `s → uᵢ` for all `i`;
+/// `u_{2i−1} → dᵢ` and `u_{2i} → dᵢ`.
+///
+/// Every destination hears **exactly two** intermediates, so it is informed
+/// in a round iff exactly one of its two parents transmits — the
+/// `2q(1 − q)` bottleneck at the heart of the proof.
+#[derive(Debug, Clone)]
+pub struct StarChain {
+    /// The network.
+    pub graph: DiGraph,
+    /// Broadcast originator (`s`).
+    pub source: NodeId,
+    /// The `2n` intermediate node ids.
+    pub intermediates: Range<NodeId>,
+    /// The `n` destination node ids.
+    pub destinations: Range<NodeId>,
+}
+
+/// Build the Observation 4.3 star-chain for parameter `n ≥ 1`
+/// (`3n + 1` nodes).
+pub fn star_chain(n: usize) -> StarChain {
+    assert!(n >= 1);
+    let total = 3 * n + 1;
+    let mut b = GraphBuilder::with_capacity(total, 4 * n);
+    let s: NodeId = 0;
+    for i in 1..=(2 * n) as NodeId {
+        b.add_edge(s, i);
+    }
+    for i in 1..=n {
+        let d = (2 * n + i) as NodeId;
+        let u_lo = (2 * i - 1) as NodeId;
+        let u_hi = (2 * i) as NodeId;
+        b.add_edge(u_lo, d);
+        b.add_edge(u_hi, d);
+    }
+    StarChain {
+        graph: b.build(),
+        source: s,
+        intermediates: 1..(2 * n + 1) as NodeId,
+        destinations: (2 * n + 1) as NodeId..(3 * n + 1) as NodeId,
+    }
+}
+
+/// The Theorem 4.4 / Figure 2 network, with role annotations.
+#[derive(Debug, Clone)]
+pub struct LowerBoundNet {
+    /// The network.
+    pub graph: DiGraph,
+    /// Broadcast originator — the centre `c₁` of the first star.
+    pub source: NodeId,
+    /// Star centres `c₁ … c_{log n}`.
+    pub centers: Vec<NodeId>,
+    /// Per-star leaf id ranges; star `Sᵢ` (index `i−1`) has `2ⁱ` leaves.
+    pub leaves: Vec<Range<NodeId>>,
+    /// The path `v₀ … v_L` of `G₂` (`v₀` doubles as `c_{log n + 1}`).
+    pub path: Range<NodeId>,
+    /// The `n` parameter (`= 2^{#stars}`).
+    pub n_param: usize,
+    /// The network diameter `D` (distance from source to the path end).
+    pub diameter: u32,
+}
+
+/// Build the Theorem 4.4 network for `n = 2^k` (pass `log2_n = k ≥ 1`) and
+/// diameter `D`.
+///
+/// Structure (paper §4.2): `G₁` is a cascade of stars; star `Sᵢ` has centre
+/// `cᵢ` and `2ⁱ` leaves, with mutual centre↔leaf edges (`cᵢ` informs its
+/// leaves; the star is drawn undirected in Figure 2). Every leaf of `Sᵢ`
+/// has a *directed* edge to `c_{i+1}` ("every leaf node in `Sᵢ` has an edge
+/// to the center of `S_{i+1}`"), so `c_{i+1}` is informed iff **exactly
+/// one** of the `2ⁱ` leaves transmits. The leaves of the last star feed
+/// `v₀`, the head of the `G₂` path ("also denoted `c_{log n + 1}`" — we
+/// connect the leaves only, so `v₀` behaves exactly like the next centre),
+/// and the path carries forward edges `vᵢ → v_{i+1}` of length
+/// `L = D − 2 log n`.
+///
+/// Node count is `Σᵢ (2ⁱ + 1) + (L + 1) ≤ 2n + D` as in the paper.
+///
+/// # Panics
+/// Panics unless `D > 2·log2_n` (the path needs positive length).
+pub fn lower_bound_net(log2_n: u32, diameter: u32) -> LowerBoundNet {
+    assert!(log2_n >= 1);
+    assert!(
+        diameter > 2 * log2_n,
+        "need D > 2·log n (= {}), got D = {diameter}",
+        2 * log2_n
+    );
+    let k = log2_n as usize;
+    let n_param = 1usize << k;
+    let path_len = (diameter - 2 * log2_n) as usize; // L = D − 2 log n
+    let total = (2 * n_param - 2) + k + (path_len + 1);
+
+    let mut b = GraphBuilder::with_capacity(total, 6 * n_param + 2 * path_len);
+    let mut centers = Vec::with_capacity(k);
+    let mut leaves = Vec::with_capacity(k);
+    let mut next: NodeId = 0;
+
+    // G1: stars S_1 .. S_k.
+    for i in 1..=k {
+        let c = next;
+        next += 1;
+        centers.push(c);
+        let first_leaf = next;
+        let n_leaves = 1u32 << i;
+        for _ in 0..n_leaves {
+            let leaf = next;
+            next += 1;
+            b.add_undirected(c, leaf);
+        }
+        leaves.push(first_leaf..next);
+        // Chain: leaves of S_{i−1} → c_i.
+        if i >= 2 {
+            let prev = leaves[i - 2].clone();
+            for leaf in prev {
+                b.add_edge(leaf, c);
+            }
+        }
+    }
+
+    // G2: path v_0 .. v_L; leaves of S_k feed v_0.
+    let v0 = next;
+    for leaf in leaves[k - 1].clone() {
+        b.add_edge(leaf, v0);
+    }
+    next += 1;
+    for _ in 0..path_len {
+        let v = next;
+        next += 1;
+        b.add_edge(v - 1, v);
+    }
+    let path = v0..next;
+    debug_assert_eq!(next as usize, total);
+
+    LowerBoundNet {
+        graph: b.build(),
+        source: centers[0],
+        centers,
+        leaves,
+        path,
+        n_param,
+        diameter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{bfs_distances, diameter_from};
+
+    #[test]
+    fn star_chain_shape() {
+        let n = 10;
+        let sc = star_chain(n);
+        let g = &sc.graph;
+        assert_eq!(g.n(), 3 * n + 1);
+        assert_eq!(g.m(), 2 * n + 2 * n);
+        // Source reaches all intermediates directly.
+        assert_eq!(g.out_degree(sc.source), 2 * n);
+        // Every destination hears exactly two intermediates.
+        for d in sc.destinations.clone() {
+            assert_eq!(g.in_degree(d), 2, "destination {d}");
+            let parents = g.in_neighbors(d);
+            assert!(parents.iter().all(|p| sc.intermediates.contains(p)));
+        }
+        // Every intermediate hears only the source and feeds one destination.
+        for u in sc.intermediates.clone() {
+            assert_eq!(g.in_neighbors(u), &[sc.source]);
+            assert_eq!(g.out_degree(u), 1);
+        }
+        assert_eq!(diameter_from(g, sc.source), Some(2));
+    }
+
+    #[test]
+    fn star_chain_destination_parents_are_disjoint_pairs() {
+        let sc = star_chain(7);
+        let mut seen = std::collections::HashSet::new();
+        for d in sc.destinations.clone() {
+            for &p in sc.graph.in_neighbors(d) {
+                assert!(seen.insert(p), "intermediate {p} shared by two destinations");
+            }
+        }
+        assert_eq!(seen.len(), 14);
+    }
+
+    #[test]
+    fn lower_bound_net_shape() {
+        let k = 4; // n = 16
+        let d = 20; // > 2k = 8
+        let net = lower_bound_net(k, d);
+        let g = &net.graph;
+        let n_param = 1usize << k;
+        assert_eq!(net.n_param, n_param);
+        // Node count: Σ (2^i + 1) + (L+1), L = D − 2k.
+        let expect_nodes = (2 * n_param - 2) + k as usize + (d as usize - 2 * k as usize + 1);
+        assert_eq!(g.n(), expect_nodes);
+        assert!(g.n() <= 2 * n_param + d as usize);
+
+        // Star i has 2^i leaves, all hearing the centre.
+        for (idx, lv) in net.leaves.iter().enumerate() {
+            let i = idx + 1;
+            assert_eq!(lv.len(), 1 << i, "star S{i} leaf count");
+            for leaf in lv.clone() {
+                assert!(g.has_edge(net.centers[idx], leaf));
+                assert!(g.has_edge(leaf, net.centers[idx]));
+            }
+        }
+        // Centre c_{i+1} hears exactly the 2^i leaves of S_i.
+        for i in 1..net.centers.len() {
+            let c = net.centers[i];
+            let expected: Vec<NodeId> = net.leaves[i - 1].clone().collect();
+            let mut heard: Vec<NodeId> = g.in_neighbors(c).to_vec();
+            heard.retain(|x| expected.contains(x));
+            assert_eq!(heard.len(), expected.len(), "c_{} in-neighbours", i + 1);
+        }
+        // v0 hears exactly the leaves of the last star.
+        let v0 = net.path.start;
+        assert_eq!(g.in_degree(v0), 1 << k);
+
+        // Source-to-everything distances: path end sits at exactly D.
+        let dist = bfs_distances(g, net.source);
+        let last = net.path.end - 1;
+        assert_eq!(dist[last as usize], Some(net.diameter));
+        assert_eq!(diameter_from(g, net.source), Some(net.diameter));
+    }
+
+    #[test]
+    fn lower_bound_net_distances_follow_cascade() {
+        let net = lower_bound_net(3, 12);
+        let dist = bfs_distances(&net.graph, net.source);
+        // c_i at distance 2(i−1); leaves of S_i at 2i−1.
+        for (idx, &c) in net.centers.iter().enumerate() {
+            assert_eq!(dist[c as usize], Some(2 * idx as u32));
+        }
+        for (idx, lv) in net.leaves.iter().enumerate() {
+            for leaf in lv.clone() {
+                assert_eq!(dist[leaf as usize], Some(2 * idx as u32 + 1));
+            }
+        }
+        // v_j at 2k + j.
+        for (j, v) in net.path.clone().enumerate() {
+            assert_eq!(dist[v as usize], Some(6 + j as u32));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn lower_bound_net_requires_long_path() {
+        let _ = lower_bound_net(4, 8); // D = 2·log n: too short
+    }
+}

@@ -1,0 +1,27 @@
+//! Network generators.
+//!
+//! Everything the paper evaluates on or constructs:
+//!
+//! * [`gnp`] — the Erdős–Rényi random networks of §2–§3, in the paper's
+//!   *directed* variant (`G(n,p)` where each ordered pair carries an edge
+//!   independently with probability `p`) and the classical undirected one.
+//! * [`classic`] — deterministic shapes used for the general-network
+//!   experiments (paths, cycles, grids, trees, caterpillars…).
+//! * [`lower_bound`] — the adversarial constructions: the Observation 4.3
+//!   star-chain and the Theorem 4.4 / Figure 2 layered network.
+//! * [`geometric`] — random geometric (unit-disk) graphs, the model the
+//!   paper's §5 names as future work, including the heterogeneous-range
+//!   directed variant motivated in §1 ("communication ranges of different
+//!   devices can vary").
+
+pub mod classic;
+pub mod geometric;
+pub mod gnp;
+pub mod lower_bound;
+pub mod structured;
+
+pub use classic::{binary_tree, caterpillar, complete, cycle, grid2d, path, star};
+pub use geometric::{mobile_geometric_sequence, random_geometric, random_geometric_directed, GeoParams};
+pub use gnp::{gnp_directed, gnp_undirected};
+pub use lower_bound::{lower_bound_net, star_chain, LowerBoundNet, StarChain};
+pub use structured::{clustered, hypercube, random_out_regular, torus2d};

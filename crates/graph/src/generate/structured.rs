@@ -1,0 +1,165 @@
+//! Additional structured and random topologies used by the extension
+//! experiments: hypercubes, torus grids, random regular digraphs and
+//! two-level cluster networks.
+//!
+//! None of these appear in the paper's proofs, but they are the standard
+//! zoo for stress-testing radio broadcast implementations: the hypercube
+//! is the classic `D = log n` benchmark, the torus removes the grid's
+//! boundary asymmetry, random regular digraphs are the degree-exact
+//! sibling of `G(n,p)` (every node has out-degree exactly `d`), and
+//! cluster networks model the "dense pockets, sparse backbone" shape of
+//! real deployments.
+
+use crate::{DiGraph, GraphBuilder, NodeId};
+use rand::{Rng, RngExt};
+
+/// `dim`-dimensional hypercube on `2^dim` nodes, mutual edges.
+/// Diameter = `dim`.
+pub fn hypercube(dim: u32) -> DiGraph {
+    assert!((1..=24).contains(&dim), "dim = {dim} out of [1, 24]");
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::with_capacity(n, n * dim as usize);
+    for v in 0..n {
+        for bit in 0..dim {
+            let u = v ^ (1 << bit);
+            if u > v {
+                b.add_undirected(v as NodeId, u as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// `w × h` torus (wrap-around 4-neighbour grid), mutual edges.
+/// Diameter = `⌊w/2⌋ + ⌊h/2⌋`.
+pub fn torus2d(w: usize, h: usize) -> DiGraph {
+    assert!(w >= 3 && h >= 3, "torus needs w, h ≥ 3");
+    let n = w * h;
+    let id = |x: usize, y: usize| (y * w + x) as NodeId;
+    let mut b = GraphBuilder::with_capacity(n, 4 * n);
+    for y in 0..h {
+        for x in 0..w {
+            b.add_undirected(id(x, y), id((x + 1) % w, y));
+            b.add_undirected(id(x, y), id(x, (y + 1) % h));
+        }
+    }
+    b.build()
+}
+
+/// Random `d`-out-regular digraph: every node chooses exactly `d`
+/// distinct out-neighbours uniformly at random. In-degrees are
+/// `Binomial(n−1, d/(n−1)) ≈ Poisson(d)` — the degree-exact cousin of
+/// directed `G(n, d/n)`.
+///
+/// # Panics
+/// Panics unless `1 ≤ d < n`.
+pub fn random_out_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> DiGraph {
+    assert!(d >= 1 && d < n, "need 1 ≤ d < n (d = {d}, n = {n})");
+    let mut b = GraphBuilder::with_capacity(n, n * d);
+    // Partial Fisher–Yates per node: pick d distinct targets.
+    let mut pool: Vec<NodeId> = (0..n as NodeId).collect();
+    for u in 0..n as NodeId {
+        // Swap u out of the pool so we never draw a self-loop.
+        let u_idx = u as usize;
+        pool.swap(u_idx, n - 1);
+        for i in 0..d {
+            let j = rng.random_range(i..n - 1);
+            pool.swap(i, j);
+            b.add_edge(u, pool[i]);
+        }
+        // Restore identity order for the next node (cheap: undo swaps).
+        pool.sort_unstable();
+    }
+    b.build()
+}
+
+/// Two-level cluster network: `clusters` complete clusters of
+/// `cluster_size` nodes each, with the cluster heads (node 0 of each
+/// cluster) forming a path backbone. Models dense pockets joined by a
+/// sparse multi-hop backbone; diameter ≈ `clusters + 1`.
+pub fn clustered(clusters: usize, cluster_size: usize) -> DiGraph {
+    assert!(clusters >= 1 && cluster_size >= 1);
+    let n = clusters * cluster_size;
+    let mut b = GraphBuilder::with_capacity(n, clusters * cluster_size * cluster_size);
+    for c in 0..clusters {
+        let base = (c * cluster_size) as NodeId;
+        for i in 0..cluster_size as NodeId {
+            for j in (i + 1)..cluster_size as NodeId {
+                b.add_undirected(base + i, base + j);
+            }
+        }
+        if c + 1 < clusters {
+            b.add_undirected(base, base + cluster_size as NodeId);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{degree_stats, diameter_from, is_strongly_connected};
+    use radio_util::derive_rng;
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(5);
+        assert_eq!(g.n(), 32);
+        assert_eq!(g.m(), 32 * 5);
+        assert!((0..32).all(|v| g.out_degree(v) == 5));
+        assert_eq!(diameter_from(&g, 0), Some(5));
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn torus_shape() {
+        let g = torus2d(6, 4);
+        assert_eq!(g.n(), 24);
+        assert!((0..24).all(|v| g.out_degree(v) == 4));
+        assert_eq!(diameter_from(&g, 0), Some(3 + 2));
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn torus_3x3_degenerate_wraps_collapse() {
+        // On a 3-wide torus, left and right neighbours of a node differ,
+        // so degree stays 4.
+        let g = torus2d(3, 3);
+        assert!((0..9).all(|v| g.out_degree(v) == 4));
+    }
+
+    #[test]
+    fn random_out_regular_degrees() {
+        let mut rng = derive_rng(1, b"reg", 0);
+        let g = random_out_regular(300, 7, &mut rng);
+        assert!((0..300).all(|v| g.out_degree(v) == 7), "exact out-degree");
+        assert!(g.edges().all(|(u, v)| u != v));
+        let stats = degree_stats(&g);
+        assert!((stats.in_mean - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_out_regular_is_usually_strongly_connected() {
+        // d = 7 ≫ ln 300 ≈ 5.7: strongly connected w.h.p.
+        let mut rng = derive_rng(2, b"reg", 0);
+        let g = random_out_regular(300, 7, &mut rng);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn clustered_shape() {
+        let g = clustered(8, 10);
+        assert_eq!(g.n(), 80);
+        assert!(is_strongly_connected(&g));
+        // Head-to-head backbone: diameter ≈ clusters + 1.
+        let d = diameter_from(&g, 1).expect("connected");
+        assert!((8..=10).contains(&d), "diameter {d}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn regular_rejects_d_ge_n() {
+        let mut rng = derive_rng(3, b"reg", 0);
+        let _ = random_out_regular(5, 5, &mut rng);
+    }
+}

@@ -1,0 +1,256 @@
+//! Directed radio-network graphs.
+//!
+//! The paper (§1.2) models an ad-hoc network as a directed graph
+//! `G = (V, E)`. We adopt the operational convention used throughout its
+//! analysis: an edge `u → v` means **`v` can hear `u`'s transmissions**
+//! (`u`'s fixed communication range covers `v`). The radio collision rule
+//! then reads: `v` receives a message in a round iff *exactly one*
+//! in-neighbour of `v` transmits in that round.
+//!
+//! * [`DiGraph`] — compressed-sparse-row digraph with both out- and
+//!   in-adjacency (the engine needs out-edges to scatter transmissions and
+//!   in-edges only for analysis/validation).
+//! * [`builder::GraphBuilder`] — edge-list accumulation with dedup.
+//! * [`generate`] — every topology the paper uses or suggests:
+//!   `G(n,p)` (directed/undirected), classic shapes, the Observation 4.3
+//!   star-chain, the Theorem 4.4 / Figure 2 lower-bound network, and
+//!   random geometric graphs (§5 future work).
+//! * [`analysis`] — BFS layers, eccentricity/diameter, strong
+//!   connectivity, degree statistics.
+
+pub mod analysis;
+pub mod builder;
+pub mod components;
+pub mod generate;
+
+pub use builder::GraphBuilder;
+pub use components::{induced_subgraph, largest_scc, strongly_connected_components, Subgraph};
+
+/// Node identifier. `u32` keeps adjacency arrays compact (the perf guides'
+/// "smaller integers" advice); 4 × 10⁹ nodes is far beyond any simulation
+/// here.
+pub type NodeId = u32;
+
+/// A directed graph in CSR form with both orientations materialised.
+///
+/// Immutable after construction; cloning is cheap relative to simulation
+/// cost but rarely needed (the engine borrows it).
+#[derive(Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    /// `out_offsets[u]..out_offsets[u+1]` indexes `out_targets`.
+    out_offsets: Vec<usize>,
+    /// Concatenated, per-source-sorted out-neighbour lists.
+    out_targets: Vec<NodeId>,
+    /// `in_offsets[v]..in_offsets[v+1]` indexes `in_sources`.
+    in_offsets: Vec<usize>,
+    /// Concatenated, per-target-sorted in-neighbour lists.
+    in_sources: Vec<NodeId>,
+}
+
+impl std::fmt::Debug for DiGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiGraph")
+            .field("n", &self.n())
+            .field("m", &self.m())
+            .finish()
+    }
+}
+
+impl DiGraph {
+    /// Build from an edge list. Duplicate edges are collapsed; self-loops
+    /// are rejected (a radio cannot usefully transmit to itself).
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= n` or any edge is a self-loop.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Internal: assemble from pre-validated, sorted, deduped edge list.
+    pub(crate) fn from_sorted_unique_edges(n: usize, edges: Vec<(NodeId, NodeId)>) -> Self {
+        let m = edges.len();
+        let mut out_offsets = vec![0usize; n + 1];
+        for &(u, _) in &edges {
+            out_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_targets = vec![0 as NodeId; m];
+        {
+            let mut cursor = out_offsets.clone();
+            for &(u, v) in &edges {
+                out_targets[cursor[u as usize]] = v;
+                cursor[u as usize] += 1;
+            }
+        }
+        // In-adjacency via counting sort on targets; sources end up sorted
+        // within each bucket because the edge list is sorted by (u, v).
+        let mut in_offsets = vec![0usize; n + 1];
+        for &(_, v) in &edges {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut in_sources = vec![0 as NodeId; m];
+        {
+            let mut cursor = in_offsets.clone();
+            for &(u, v) in &edges {
+                in_sources[cursor[v as usize]] = u;
+                cursor[v as usize] += 1;
+            }
+        }
+        DiGraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Nodes whose radios can hear `u` (sorted).
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.out_targets[self.out_offsets[u as usize]..self.out_offsets[u as usize + 1]]
+    }
+
+    /// Nodes that `v` can hear (sorted).
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.in_sources[self.in_offsets[v as usize]..self.in_offsets[v as usize + 1]]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out_offsets[u as usize + 1] - self.out_offsets[u as usize]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]
+    }
+
+    /// Edge membership test (binary search on the sorted out-list).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// The transpose graph (every edge reversed).
+    pub fn reverse(&self) -> DiGraph {
+        DiGraph {
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_sources.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_sources: self.out_targets.clone(),
+        }
+    }
+
+    /// Iterate all edges in `(source-sorted, target-sorted)` order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n() as NodeId)
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// True if for every edge `u → v` the reverse edge `v → u` exists
+    /// (i.e. all communication ranges are mutual).
+    pub fn is_symmetric(&self) -> bool {
+        self.edges().all(|(u, v)| self.has_edge(v, u))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 → {1,2} → 3
+        DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn csr_adjacency_is_consistent() {
+        let g = diamond();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn has_edge_and_symmetry() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.is_symmetric());
+        let sym = DiGraph::from_edges(2, &[(0, 1), (1, 0)]);
+        assert!(sym.is_symmetric());
+    }
+
+    #[test]
+    fn reverse_transposes_all_edges() {
+        let g = diamond();
+        let r = g.reverse();
+        for (u, v) in g.edges() {
+            assert!(r.has_edge(v, u));
+        }
+        assert_eq!(r.m(), g.m());
+        assert_eq!(
+            r.reverse().edges().collect::<Vec<_>>(),
+            g.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (0, 1), (1, 2)]);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        let _ = DiGraph::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_endpoint_rejected() {
+        let _ = DiGraph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edges(5, &[]);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert!(g.edges().next().is_none());
+    }
+
+    #[test]
+    fn edges_iterator_sorted() {
+        let g = DiGraph::from_edges(4, &[(2, 1), (0, 3), (0, 1), (2, 0)]);
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e, vec![(0, 1), (0, 3), (2, 0), (2, 1)]);
+    }
+}

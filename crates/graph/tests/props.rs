@@ -1,0 +1,111 @@
+//! Property tests on the graph substrate: CSR invariants, BFS laws, SCC
+//! consistency and generator contracts under arbitrary inputs.
+
+use proptest::prelude::*;
+use radio_graph::analysis::{bfs_distances, bfs_layers, degree_stats};
+use radio_graph::components::{induced_subgraph, strongly_connected_components};
+use radio_graph::generate::gnp_directed;
+use radio_graph::{DiGraph, NodeId};
+use radio_util::derive_rng;
+
+/// Arbitrary small digraph from an edge list.
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    (2usize..60).prop_flat_map(|n| {
+        prop::collection::vec((0..n as NodeId, 0..n as NodeId), 0..200).prop_map(move |mut es| {
+            es.retain(|(u, v)| u != v);
+            DiGraph::from_edges(n, &es)
+        })
+    })
+}
+
+proptest! {
+    /// CSR bookkeeping: degree sums equal m, out- and in-views describe
+    /// the same edge set, reverse is an involution.
+    #[test]
+    fn csr_invariants(g in arb_graph()) {
+        let out_sum: usize = (0..g.n() as NodeId).map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = (0..g.n() as NodeId).map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.m());
+        prop_assert_eq!(in_sum, g.m());
+        for (u, v) in g.edges() {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(g.in_neighbors(v).contains(&u));
+        }
+        let rr = g.reverse().reverse();
+        prop_assert_eq!(rr.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+        let ds = degree_stats(&g);
+        prop_assert!((ds.out_mean - ds.in_mean).abs() < 1e-12);
+    }
+
+    /// BFS satisfies the relaxation law: for every edge u→v with u
+    /// reachable, dist(v) ≤ dist(u) + 1; and layers partition exactly the
+    /// reachable nodes by distance.
+    #[test]
+    fn bfs_laws(g in arb_graph(), src_raw in 0usize..60) {
+        let src = (src_raw % g.n()) as NodeId;
+        let dist = bfs_distances(&g, src);
+        prop_assert_eq!(dist[src as usize], Some(0));
+        for (u, v) in g.edges() {
+            if let Some(du) = dist[u as usize] {
+                let dv = dist[v as usize].expect("neighbour of reachable node is reachable");
+                prop_assert!(dv <= du + 1, "edge ({u},{v}): {dv} > {du}+1");
+            }
+        }
+        let layers = bfs_layers(&g, src);
+        let mut seen = 0usize;
+        for (k, layer) in layers.iter().enumerate() {
+            for &v in layer {
+                prop_assert_eq!(dist[v as usize], Some(k as u32));
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, dist.iter().flatten().count());
+    }
+
+    /// SCCs partition the vertex set, and two nodes share a component iff
+    /// each reaches the other.
+    #[test]
+    fn scc_partition_and_mutual_reachability(g in arb_graph()) {
+        let comps = strongly_connected_components(&g);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, g.n());
+        // Spot-check mutual reachability inside the largest component.
+        let big = comps.iter().max_by_key(|c| c.len()).expect("n ≥ 2");
+        if big.len() >= 2 {
+            let a = big[0];
+            let b = big[big.len() - 1];
+            let d_ab = bfs_distances(&g, a)[b as usize];
+            let d_ba = bfs_distances(&g, b)[a as usize];
+            prop_assert!(d_ab.is_some() && d_ba.is_some());
+        }
+    }
+
+    /// Induced subgraphs keep exactly the internal edges.
+    #[test]
+    fn induced_subgraph_edge_exactness(g in arb_graph(), pick in prop::collection::vec(any::<bool>(), 60)) {
+        let nodes: Vec<NodeId> = (0..g.n())
+            .filter(|&v| pick.get(v).copied().unwrap_or(false))
+            .map(|v| v as NodeId)
+            .collect();
+        let sub = induced_subgraph(&g, &nodes);
+        prop_assert_eq!(sub.graph.n(), nodes.len());
+        let expected: usize = g
+            .edges()
+            .filter(|(u, v)| nodes.binary_search(u).is_ok() && nodes.binary_search(v).is_ok())
+            .count();
+        prop_assert_eq!(sub.graph.m(), expected);
+        for (u, v) in sub.graph.edges() {
+            prop_assert!(g.has_edge(sub.original(u), sub.original(v)));
+        }
+    }
+
+    /// G(n,p) generator contract: no self-loops, all endpoints in range,
+    /// deterministic per seed.
+    #[test]
+    fn gnp_contract(n in 2usize..200, p in 0.0f64..0.3, seed in any::<u64>()) {
+        let g1 = gnp_directed(n, p, &mut derive_rng(seed, b"prop-gnp", 0));
+        let g2 = gnp_directed(n, p, &mut derive_rng(seed, b"prop-gnp", 0));
+        prop_assert_eq!(&g1, &g2);
+        prop_assert!(g1.edges().all(|(u, v)| u != v && (v as usize) < n));
+    }
+}

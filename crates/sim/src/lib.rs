@@ -1,0 +1,99 @@
+//! Round-synchronous radio-network simulation.
+//!
+//! Implements exactly the communication model of the paper's §1.2:
+//!
+//! * Time proceeds in synchronous rounds.
+//! * In each round every node independently decides to transmit or stay
+//!   silent (no carrier sensing, no acknowledgements — the paper
+//!   explicitly rules out acknowledgement-based protocols).
+//! * A node `v` **receives** a message iff **exactly one** of its
+//!   in-neighbours transmits in that round; two or more simultaneous
+//!   transmissions in `v`'s range *collide* and `v` hears nothing (and
+//!   cannot even detect that a collision happened).
+//! * Energy = number of transmissions, tallied in [`Metrics`].
+//!
+//! Algorithms are [`Protocol`] implementations — per-node state machines
+//! polled once per round. The engine keeps an *awake set* so that rounds
+//! cost `O(awake + Σ out-degree(transmitters))`, not `O(n)`: a node that
+//! returns [`Action::Sleep`] (the paper's *passive* state) leaves the poll
+//! list and re-enters it only if a later reception wakes it.
+//!
+//! Determinism: a run is a pure function of `(graph, protocol, config,
+//! seed)`. The engine consumes one [`rand_chacha::ChaCha8Rng`]; protocols
+//! draw from it only inside `decide`/`on_receive`, in a fixed polling
+//! order, so every run is exactly reproducible. [`reference`] contains a
+//! deliberately naive O(n·deg) second implementation of the collision
+//! semantics against which the optimised engine is property-tested.
+
+pub mod engine;
+pub mod fault;
+pub mod metrics;
+pub mod reference;
+pub mod trials;
+
+pub use engine::{run_dynamic, Engine, EngineConfig, RunResult};
+pub use fault::{CrashPlan, Faulty};
+pub use metrics::{Metrics, RoundRecord, Trace};
+pub use trials::parallel_trials;
+
+use rand_chacha::ChaCha8Rng;
+
+use radio_graph::NodeId;
+
+/// A node's decision for the current round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Stay silent this round; remain on the poll list.
+    Silent,
+    /// Transmit this round (the payload is fetched via
+    /// [`Protocol::payload`]); remain on the poll list.
+    Transmit,
+    /// Become *passive*: never poll this node again unless a future
+    /// reception wakes it. The paper's broadcast algorithms use this to
+    /// enforce their energy budgets.
+    Sleep,
+}
+
+/// A per-node distributed algorithm in the radio model.
+///
+/// The engine polls `decide` once per round for every awake node (in
+/// ascending node order), gathers the transmitters, applies the collision
+/// rule, then calls `on_receive` for each collision-free reception (in
+/// ascending receiver order). All randomness must come from the provided
+/// RNG so runs stay reproducible.
+pub trait Protocol {
+    /// Transmission payload. `()` for pure broadcast (the rumor is
+    /// implicit); a rumor [`radio_util::BitSet`] for gossip.
+    type Msg: Clone + Send;
+
+    /// Nodes that are awake before round 1 (e.g. the broadcast source).
+    fn initially_awake(&self) -> Vec<NodeId>;
+
+    /// Per-round decision for an awake node.
+    fn decide(&mut self, node: NodeId, round: u64, rng: &mut ChaCha8Rng) -> Action;
+
+    /// Payload for a node that chose [`Action::Transmit`] this round.
+    fn payload(&self, node: NodeId, round: u64) -> Self::Msg;
+
+    /// Collision-free delivery of `msg` (sent by `from`) to `node`.
+    /// After this call the engine puts `node` back on the poll list.
+    fn on_receive(
+        &mut self,
+        node: NodeId,
+        from: NodeId,
+        round: u64,
+        msg: &Self::Msg,
+        rng: &mut ChaCha8Rng,
+    );
+
+    /// Global goal test, checked at the end of every round.
+    fn is_complete(&self) -> bool;
+
+    /// Number of nodes that hold the broadcast message / all-rumors-goal
+    /// progress indicator. Used for traces and experiment tables.
+    fn informed_count(&self) -> usize;
+
+    /// Number of *active* nodes (informed and still willing to transmit) —
+    /// the paper's `|Uₜ|`. Used for the Lemma 2.3/2.4 growth traces.
+    fn active_count(&self) -> usize;
+}

@@ -1,0 +1,178 @@
+//! Energy accounting and per-round traces.
+//!
+//! The paper measures energy as *"the total (expected) number of
+//! transmissions, or the maximum number of transmissions per node"*
+//! (§1.2). [`Metrics`] tracks both, per run. [`Trace`] captures the
+//! per-round quantities that the §2 analysis reasons about — `|Qₜ|`
+//! (transmitters), newly informed nodes, and the protocol-reported
+//! `|Uₜ|` (active set).
+
+/// Per-run energy and duration accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metrics {
+    per_node: Vec<u32>,
+    total: u64,
+    rounds: u64,
+}
+
+impl Metrics {
+    /// Zeroed metrics for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            per_node: vec![0; n],
+            total: 0,
+            rounds: 0,
+        }
+    }
+
+    /// Count one transmission by `node`.
+    #[inline]
+    pub fn record_transmission(&mut self, node: radio_graph::NodeId) {
+        self.per_node[node as usize] += 1;
+        self.total += 1;
+    }
+
+    pub(crate) fn set_rounds(&mut self, rounds: u64) {
+        self.rounds = rounds;
+    }
+
+    /// Rounds the run lasted.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total transmissions across all nodes — the paper's primary energy
+    /// measure.
+    pub fn total_transmissions(&self) -> u64 {
+        self.total
+    }
+
+    /// Maximum transmissions by any single node — the paper's per-node
+    /// energy measure (Algorithm 1 guarantees this is ≤ 1).
+    pub fn max_transmissions_per_node(&self) -> u32 {
+        self.per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean transmissions per node.
+    pub fn mean_transmissions_per_node(&self) -> f64 {
+        if self.per_node.is_empty() {
+            0.0
+        } else {
+            self.total as f64 / self.per_node.len() as f64
+        }
+    }
+
+    /// Transmissions by a specific node.
+    pub fn transmissions_of(&self, node: radio_graph::NodeId) -> u32 {
+        self.per_node[node as usize]
+    }
+
+    /// Per-node counts (index = node id).
+    pub fn per_node(&self) -> &[u32] {
+        &self.per_node
+    }
+}
+
+/// One round's aggregate counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// 1-based round number.
+    pub round: u64,
+    /// `|Qₜ|` — nodes that transmitted.
+    pub transmitters: u64,
+    /// Collision-free receptions delivered.
+    pub deliveries: u64,
+    /// Receptions that increased the protocol's informed count.
+    pub newly_informed: u64,
+    /// Protocol-reported active-set size `|Uₜ|` *after* the round.
+    pub active: u64,
+    /// Protocol-reported informed count after the round.
+    pub informed: u64,
+}
+
+/// Sequence of per-round records.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Record for every executed round, in order.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl Trace {
+    /// The informed count after each round.
+    pub fn informed_series(&self) -> Vec<u64> {
+        self.rounds.iter().map(|r| r.informed).collect()
+    }
+
+    /// The transmitter count of each round (`|Qₜ|`).
+    pub fn transmitter_series(&self) -> Vec<u64> {
+        self.rounds.iter().map(|r| r.transmitters).collect()
+    }
+
+    /// The active-set size after each round (`|Uₜ₊₁|`).
+    pub fn active_series(&self) -> Vec<u64> {
+        self.rounds.iter().map(|r| r.active).collect()
+    }
+
+    /// First round (1-based) whose informed count reached `target`, if any.
+    pub fn round_reaching(&self, target: u64) -> Option<u64> {
+        self.rounds
+            .iter()
+            .find(|r| r.informed >= target)
+            .map(|r| r.round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut m = Metrics::new(4);
+        m.record_transmission(1);
+        m.record_transmission(1);
+        m.record_transmission(3);
+        assert_eq!(m.total_transmissions(), 3);
+        assert_eq!(m.max_transmissions_per_node(), 2);
+        assert_eq!(m.transmissions_of(1), 2);
+        assert_eq!(m.transmissions_of(0), 0);
+        assert!((m.mean_transmissions_per_node() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let m = Metrics::new(0);
+        assert_eq!(m.max_transmissions_per_node(), 0);
+        assert_eq!(m.mean_transmissions_per_node(), 0.0);
+    }
+
+    #[test]
+    fn trace_round_reaching() {
+        let t = Trace {
+            rounds: vec![
+                RoundRecord {
+                    round: 1,
+                    transmitters: 1,
+                    deliveries: 2,
+                    newly_informed: 2,
+                    active: 2,
+                    informed: 3,
+                },
+                RoundRecord {
+                    round: 2,
+                    transmitters: 2,
+                    deliveries: 4,
+                    newly_informed: 4,
+                    active: 4,
+                    informed: 7,
+                },
+            ],
+        };
+        assert_eq!(t.round_reaching(3), Some(1));
+        assert_eq!(t.round_reaching(7), Some(2));
+        assert_eq!(t.round_reaching(8), None);
+        assert_eq!(t.informed_series(), vec![3, 7]);
+        assert_eq!(t.transmitter_series(), vec![1, 2]);
+        assert_eq!(t.active_series(), vec![2, 4]);
+    }
+}

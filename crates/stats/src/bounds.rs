@@ -1,0 +1,70 @@
+//! The Chernoff bounds of the paper's Appendix A (Lemma A.1), as
+//! computable functions.
+//!
+//! These give the *theoretical* failure probabilities that the paper's
+//! proofs plug in; the experiment tables print them next to measured
+//! failure rates so the reader can see how loose the theory constants are
+//! at simulated sizes.
+
+/// Lemma A.1(1): `Pr[X < (1 − ε)µ] < exp(−µ ε² / 2)` for `0 ≤ ε ≤ 1`.
+///
+/// # Panics
+/// Panics if `ε ∉ [0, 1]` or `µ < 0`.
+pub fn chernoff_lower_tail(mu: f64, eps: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&eps), "ε = {eps} out of [0,1]");
+    assert!(mu >= 0.0);
+    (-mu * eps * eps / 2.0).exp()
+}
+
+/// Lemma A.1(2): `Pr[X > (1 + ε)µ] < exp(−µ ε² / 3)` for `ε > 0`.
+///
+/// # Panics
+/// Panics if `ε ≤ 0` or `µ < 0`.
+pub fn chernoff_upper_tail(mu: f64, eps: f64) -> f64 {
+    assert!(eps > 0.0, "ε must be positive");
+    assert!(mu >= 0.0);
+    (-mu * eps * eps / 3.0).exp()
+}
+
+/// Lemma A.1(3): `Pr[|X − µ| > εµ] < 2·exp(−µ ε² / 3)` for `0 ≤ ε ≤ 1`.
+pub fn chernoff_two_sided(mu: f64, eps: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&eps), "ε = {eps} out of [0,1]");
+    assert!(mu >= 0.0);
+    (2.0 * (-mu * eps * eps / 3.0).exp()).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_shrink_with_mu() {
+        let small = chernoff_lower_tail(10.0, 0.5);
+        let large = chernoff_lower_tail(1000.0, 0.5);
+        assert!(large < small);
+        assert!(large < 1e-50);
+    }
+
+    #[test]
+    fn bounds_shrink_with_eps() {
+        assert!(chernoff_upper_tail(100.0, 1.0) < chernoff_upper_tail(100.0, 0.1));
+    }
+
+    #[test]
+    fn two_sided_is_capped_at_one() {
+        assert_eq!(chernoff_two_sided(0.0, 0.5), 1.0);
+    }
+
+    #[test]
+    fn known_value() {
+        // µ = 72, ε = 1/2: exp(−72·(1/4)/2) = exp(−9).
+        let b = chernoff_lower_tail(72.0, 0.5);
+        assert!((b - (-9.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn upper_tail_rejects_zero_eps() {
+        let _ = chernoff_upper_tail(10.0, 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Statistics for the `adhoc-radio` experiment harness.
+//!
+//! The paper's claims are asymptotic ("`O(log n)` rounds w.h.p.",
+//! "`Θ(d)` growth per round", "success probability `≥ 1 − 1/n`"). Checking
+//! them empirically needs:
+//!
+//! * [`summary`] — descriptive statistics over repeated trials.
+//! * [`fit`] — least-squares fits: measured rounds vs. `log n`, messages
+//!   vs. `log² n / λ`, and log-log slope estimation to distinguish
+//!   logarithmic from polynomial growth.
+//! * [`proportion`] — Wilson score intervals for success probabilities
+//!   (the right tool for "did broadcasting finish in ≥ 1 − 1/n of
+//!   trials?").
+//! * [`bounds`] — the Chernoff bounds of the paper's Appendix A, used to
+//!   overlay theory curves on measured tables.
+
+pub mod bounds;
+pub mod fit;
+pub mod proportion;
+pub mod summary;
+
+pub use bounds::{chernoff_lower_tail, chernoff_two_sided, chernoff_upper_tail};
+pub use fit::{fit_against, log_log_slope, LinearFit};
+pub use proportion::{wilson_interval, SuccessCounter};
+pub use summary::{mean, quantile, SummaryStats};

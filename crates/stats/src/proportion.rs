@@ -1,0 +1,139 @@
+//! Success-probability estimation.
+//!
+//! The paper's guarantees are of the form "event `A` holds with
+//! probability `≥ 1 − n⁻¹`". Empirically we run `k` independent trials
+//! and report the Wilson score interval for the success proportion — the
+//! standard interval that stays honest near 0 and 1, exactly where
+//! w.h.p. claims live.
+
+use serde::{Deserialize, Serialize};
+
+/// Wilson score interval for `successes / trials` at confidence `z`
+/// (z = 1.96 for 95 %).
+///
+/// Returns `(low, high)`.
+///
+/// # Panics
+/// Panics if `trials == 0` or `successes > trials`.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "no trials");
+    assert!(successes <= trials, "successes > trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = p + z2 / (2.0 * n);
+    let margin = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    (
+        ((centre - margin) / denom).max(0.0),
+        ((centre + margin) / denom).min(1.0),
+    )
+}
+
+/// Accumulates success/failure outcomes across trials.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuccessCounter {
+    pub successes: u64,
+    pub trials: u64,
+}
+
+impl SuccessCounter {
+    /// Fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one trial outcome.
+    pub fn record(&mut self, success: bool) {
+        self.trials += 1;
+        self.successes += u64::from(success);
+    }
+
+    /// Point estimate of the success probability.
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// 95 % Wilson interval.
+    pub fn wilson95(&self) -> (f64, f64) {
+        wilson_interval(self.successes, self.trials, 1.96)
+    }
+
+    /// True if, at 95 % confidence, the success probability exceeds
+    /// `threshold` (the Wilson lower bound clears it).
+    pub fn exceeds(&self, threshold: f64) -> bool {
+        self.wilson95().0 > threshold
+    }
+
+    /// Table rendering: `"29/30 (0.97)"`.
+    pub fn display(&self) -> String {
+        format!("{}/{} ({:.2})", self.successes, self.trials, self.rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_is_sane_at_extremes() {
+        let (lo, hi) = wilson_interval(0, 20, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.25);
+        let (lo, hi) = wilson_interval(20, 20, 1.96);
+        assert!(lo > 0.75 && lo < 1.0);
+        assert!(hi > 1.0 - 1e-9, "hi = {hi}");
+    }
+
+    #[test]
+    fn wilson_known_value() {
+        // 15/20 at 95 %: classic textbook value ≈ (0.531, 0.888).
+        let (lo, hi) = wilson_interval(15, 20, 1.96);
+        assert!((lo - 0.531).abs() < 0.005, "lo = {lo}");
+        assert!((hi - 0.888).abs() < 0.005, "hi = {hi}");
+    }
+
+    #[test]
+    fn wilson_contains_point_estimate() {
+        for s in 0..=30u64 {
+            let (lo, hi) = wilson_interval(s, 30, 1.96);
+            let p = s as f64 / 30.0;
+            assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = SuccessCounter::new();
+        for i in 0..10 {
+            c.record(i % 5 != 0);
+        }
+        assert_eq!(c.trials, 10);
+        assert_eq!(c.successes, 8);
+        assert!((c.rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exceeds_requires_confidence_not_just_rate() {
+        let mut few = SuccessCounter::new();
+        few.record(true);
+        few.record(true);
+        // 2/2 but the Wilson lower bound is far below 0.9.
+        assert!(!few.exceeds(0.9));
+        let mut many = SuccessCounter::new();
+        for _ in 0..200 {
+            many.record(true);
+        }
+        assert!(many.exceeds(0.9));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_trials_panics() {
+        let _ = wilson_interval(0, 0, 1.96);
+    }
+}

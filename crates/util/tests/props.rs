@@ -1,0 +1,108 @@
+//! Property tests: `BitSet` against a `HashSet` model, and seed-derivation
+//! hygiene.
+
+use proptest::prelude::*;
+use radio_util::{split_seed, BitSet};
+use std::collections::HashSet;
+
+/// Operations in the model test.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(usize),
+    Remove(usize),
+    Contains(usize),
+}
+
+fn op_strategy(cap: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..cap).prop_map(Op::Insert),
+        (0..cap).prop_map(Op::Remove),
+        (0..cap).prop_map(Op::Contains),
+    ]
+}
+
+proptest! {
+    /// BitSet behaves exactly like HashSet<usize> under arbitrary
+    /// insert/remove/contains interleavings.
+    #[test]
+    fn bitset_matches_hashset_model(
+        cap in 1usize..300,
+        ops in prop::collection::vec((0..10u8, 0..1000usize), 0..200),
+    ) {
+        let mut bs = BitSet::new(cap);
+        let mut model: HashSet<usize> = HashSet::new();
+        for (sel, raw) in ops {
+            let key = raw % cap;
+            match sel % 3 {
+                0 => {
+                    let fresh = bs.insert(key);
+                    prop_assert_eq!(fresh, model.insert(key));
+                }
+                1 => {
+                    let was = bs.remove(key);
+                    prop_assert_eq!(was, model.remove(&key));
+                }
+                _ => {
+                    prop_assert_eq!(bs.contains(key), model.contains(&key));
+                }
+            }
+            prop_assert_eq!(bs.len(), model.len());
+        }
+        // Final iteration agreement.
+        let from_bs: Vec<usize> = bs.iter().collect();
+        let mut from_model: Vec<usize> = model.into_iter().collect();
+        from_model.sort_unstable();
+        prop_assert_eq!(from_bs, from_model);
+    }
+
+    /// Union agrees with the model and reports the exact number of
+    /// newly-added keys.
+    #[test]
+    fn union_matches_model(
+        cap in 1usize..256,
+        a in prop::collection::vec(0..1000usize, 0..100),
+        b in prop::collection::vec(0..1000usize, 0..100),
+    ) {
+        let mut sa = BitSet::new(cap);
+        let mut ma: HashSet<usize> = HashSet::new();
+        for k in a {
+            sa.insert(k % cap);
+            ma.insert(k % cap);
+        }
+        let mut sb = BitSet::new(cap);
+        let mut mb: HashSet<usize> = HashSet::new();
+        for k in b {
+            sb.insert(k % cap);
+            mb.insert(k % cap);
+        }
+        let before = ma.len();
+        let added = sa.union_with(&sb);
+        ma.extend(mb.iter().copied());
+        prop_assert_eq!(added, ma.len() - before);
+        prop_assert_eq!(sa.len(), ma.len());
+        prop_assert!(sb.is_subset(&sa) || !mb.is_subset(&ma));
+    }
+
+    /// The dummy-op strategy type-checks (keeps `Op` exercised).
+    #[test]
+    fn op_strategy_generates(cap in 1usize..50, op in (1usize..50).prop_flat_map(op_strategy)) {
+        match op {
+            Op::Insert(k) | Op::Remove(k) | Op::Contains(k) => prop_assert!(k < 50),
+        }
+        prop_assert!(cap >= 1);
+    }
+
+    /// Seed derivation never collides across label/index within a batch.
+    #[test]
+    fn split_seed_no_collisions(master in any::<u64>()) {
+        let mut seen = HashSet::new();
+        for label in [b"a".as_slice(), b"b".as_slice(), b"trial".as_slice()] {
+            for idx in 0..64u64 {
+                prop_assert!(
+                    seen.insert(split_seed(master, label, idx)),
+                    "collision at {label:?}/{idx}"
+                );
+            }
+        }
+    }
+}

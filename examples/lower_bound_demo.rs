@@ -1,0 +1,84 @@
+//! The Theorem 4.4 lower-bound network (Figure 2) in action.
+//!
+//! A cascade of stars `S₁ … S_{log n}` (star `Sᵢ` has `2ⁱ` leaves) feeds a
+//! long path. To get through star `Sᵢ`, *exactly one* of its `2ⁱ` leaves
+//! must transmit in some round — so a time-invariant oblivious algorithm
+//! must hedge across all `log n` scales, and hedging costs messages.
+//! This demo runs several time-invariant strategies under the theorem's
+//! round budget `c·D·log(n/D)` and prints success vs. energy next to the
+//! theoretical floor `log²n / (max{4c,8}·log(n/D))`.
+//!
+//! ```sh
+//! cargo run --release --example lower_bound_demo
+//! ```
+
+use adhoc_radio::graph::generate::lower_bound_net;
+use adhoc_radio::prelude::*;
+use adhoc_radio::util::ilog2_ceil;
+
+fn main() {
+    let k = 7; // n = 128
+    let diameter = 64; // > 4 log n, as the theorem assumes
+    let net = lower_bound_net(k, diameter);
+    let n_nodes = net.graph.n();
+    let l = ilog2_ceil(n_nodes as u64);
+    let c = 60.0; // generous budget multiplier (theory constants are loose)
+    let budget = thm44_round_budget(&net, c);
+    println!(
+        "Figure-2 network: {} nodes ({} stars, path of {}), D = {diameter}; round budget c·D·λ = {budget}\n",
+        n_nodes,
+        net.centers.len(),
+        net.path.len(),
+    );
+
+    let strategies: Vec<(String, TimeInvariant)> = vec![
+        ("fixed q = 1/2".into(), TimeInvariant::Fixed(0.5)),
+        ("fixed q = 1/16".into(), TimeInvariant::Fixed(1.0 / 16.0)),
+        ("fixed q = 1/128".into(), TimeInvariant::Fixed(1.0 / 128.0)),
+        ("uniform k".into(), TimeInvariant::Dist(KDistribution::uniform_k(l))),
+        (
+            "paper α (λ=1)".into(),
+            TimeInvariant::Dist(KDistribution::paper_alpha(l, 1.0)),
+        ),
+        (
+            "paper α (λ=3)".into(),
+            TimeInvariant::Dist(KDistribution::paper_alpha(l, 3.0)),
+        ),
+    ];
+
+    let trials = 10u64;
+    let mut table = TextTable::new(&[
+        "strategy",
+        "E[q]/round",
+        "success",
+        "mean msgs/node (successes)",
+    ]);
+    for (name, strat) in &strategies {
+        let mut ok = 0;
+        let mut msgs = 0.0;
+        for seed in 0..trials {
+            let out = thm44_trial(&net, strat, c, seed);
+            if out.all_informed {
+                ok += 1;
+                msgs += out.mean_msgs_per_node();
+            }
+        }
+        table.row(&[
+            name.clone(),
+            format!("{:.4}", strat.mean_q()),
+            format!("{ok}/{trials}"),
+            if ok > 0 {
+                format!("{:.1}", msgs / ok as f64)
+            } else {
+                "—".to_string()
+            },
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "theoretical floor for algorithms succeeding w.p. ≥ 1−1/n in this budget: ≥ {:.1} msgs/node",
+        thm44_bound(net.n_param, diameter, c)
+    );
+    println!("single-scale strategies either jam the big stars (q too high) or crawl the path (q too low);");
+    println!("multi-scale distributions pay the log²n/λ hedging tax — exactly Theorem 4.4's message floor.");
+}

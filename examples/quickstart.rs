@@ -1,0 +1,56 @@
+//! Quickstart: broadcast a message through an unknown ad-hoc radio
+//! network using the paper's Algorithm 1, with one transmission per node.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use adhoc_radio::prelude::*;
+
+fn main() {
+    // An ad-hoc network of n radios: the directed Erdős–Rényi model of
+    // the paper's §2, with p = δ·ln n / n comfortably above the
+    // connectivity threshold. Nodes know n and p — nothing else.
+    let n = 4096;
+    let delta = 8.0;
+    let p = delta * (n as f64).ln() / n as f64;
+    let mut rng = derive_rng(2024, b"quickstart-graph", 0);
+    let graph = gnp_directed(n, p, &mut rng);
+    println!("network: n = {}, directed edges = {}, d = np = {:.1}", graph.n(), graph.m(), n as f64 * p);
+
+    // Algorithm 1: three phases, at most ONE transmission per node.
+    let cfg = EeBroadcastConfig::for_gnp(n, p);
+    println!(
+        "schedule: T = {} (phase 1), phase 2 = {}, phase 3 = {} rounds",
+        cfg.params.t,
+        if cfg.params.use_phase2 { "yes" } else { "no" },
+        cfg.phase3_len(),
+    );
+
+    let source = 0;
+    let outcome = run_ee_broadcast(&graph, source, &cfg, 7);
+
+    println!("\n--- outcome -------------------------------------------");
+    println!("informed           : {}/{}", outcome.informed, outcome.n);
+    println!(
+        "broadcast time     : {} rounds (O(log n); log2 n = {:.0})",
+        outcome.broadcast_time.map_or("∞".into(), |r| r.to_string()),
+        (n as f64).log2()
+    );
+    println!(
+        "max msgs per node  : {}   <-- the paper's headline: ≤ 1",
+        outcome.max_msgs_per_node()
+    );
+    println!(
+        "total transmissions: {} (theory: O(log n / p) ≈ {:.0})",
+        outcome.metrics.total_transmissions(),
+        (n as f64).ln() / p
+    );
+    assert!(outcome.max_msgs_per_node() <= 1);
+
+    // Contrast: what a naive "everyone repeats the message" flood does in
+    // the radio model — permanent collisions, nothing moves.
+    let flood = run_flood_broadcast(&graph, source, &FloodConfig::naive(500), 7);
+    println!("\nnaive flooding on the same network: {}/{} informed after {} rounds (collisions!)",
+        flood.informed, flood.n, flood.rounds_executed);
+}
