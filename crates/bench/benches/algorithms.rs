@@ -118,7 +118,11 @@ fn ablation(c: &mut Criterion) {
             early_stop: true,
             ..GeneralBroadcastConfig::new(n, d)
         };
-        let name = if private { "alg3_private_seq" } else { "alg3_shared_seq" };
+        let name = if private {
+            "alg3_private_seq"
+        } else {
+            "alg3_shared_seq"
+        };
         group.bench_function(name, |b| {
             let mut seed = 0u64;
             b.iter(|| {

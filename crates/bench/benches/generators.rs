@@ -32,7 +32,11 @@ fn bench_geometric(c: &mut Criterion) {
             let mut i = 0u64;
             b.iter(|| {
                 i += 1;
-                black_box(random_geometric(n, params.r_min, &mut derive_rng(i, b"bench", 1)))
+                black_box(random_geometric(
+                    n,
+                    params.r_min,
+                    &mut derive_rng(i, b"bench", 1),
+                ))
             });
         });
     }

@@ -85,10 +85,7 @@ pub fn run(ctx: &Ctx) -> Report {
             )
         });
         let successes = outs.iter().filter(|o| o.0).count();
-        let times: Vec<f64> = outs
-            .iter()
-            .filter_map(|o| o.1.map(|t| t as f64))
-            .collect();
+        let times: Vec<f64> = outs.iter().filter_map(|o| o.1.map(|t| t as f64)).collect();
         let max_msg = outs.iter().map(|o| o.2).max().unwrap_or(0);
         let totals: Vec<f64> = outs.iter().map(|o| o.3 as f64).collect();
         let informed_frac: Vec<f64> = outs.iter().map(|o| o.4 as f64 / row.n as f64).collect();

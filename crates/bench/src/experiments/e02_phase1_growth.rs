@@ -25,7 +25,13 @@ pub fn run(ctx: &Ctx) -> Report {
         "growth/d",
         "in [d/16, 2d]?",
     ]);
-    let mut final_table = TextTable::new(&["n", "d", "T", "|U_{T+1}|/d^T (mean)", "paper range [c1, c2]"]);
+    let mut final_table = TextTable::new(&[
+        "n",
+        "d",
+        "T",
+        "|U_{T+1}|/d^T (mean)",
+        "paper range [c1, c2]",
+    ]);
 
     for n in [4096usize, 32768] {
         let d_target = (n as f64).powf(1.0 / 3.0).round();
@@ -78,7 +84,10 @@ pub fn run(ctx: &Ctx) -> Report {
         // |U_{T+1}| concentration (Lemma 2.4): measured against d^T.
         let finals: Vec<f64> = traces
             .iter()
-            .filter_map(|s| s.get(t_phase1 - 1).map(|&u| u as f64 / d.powi(t_phase1 as i32)))
+            .filter_map(|s| {
+                s.get(t_phase1 - 1)
+                    .map(|&u| u as f64 / d.powi(t_phase1 as i32))
+            })
             .collect();
         let st = SummaryStats::from_slice(&finals);
         final_table.row(&[

@@ -15,13 +15,7 @@ pub fn run(ctx: &Ctx) -> Report {
     );
     let trials = ctx.trials(20, 6);
 
-    let mut table = TextTable::new(&[
-        "n",
-        "d",
-        "T",
-        "active after Phase 2 / n",
-        "min over trials",
-    ]);
+    let mut table = TextTable::new(&["n", "d", "T", "active after Phase 2 / n", "min over trials"]);
 
     for (n, delta) in [(2048usize, 6.0), (8192, 6.0), (8192, 10.0), (32768, 8.0)] {
         let p = delta * (n as f64).ln() / n as f64;

@@ -15,7 +15,13 @@ pub fn run(ctx: &Ctx) -> Report {
     );
     let trials = ctx.trials(25, 8);
 
-    let mut table = TextTable::new(&["n", "phase-3 start", "completion round", "phase-3 rounds used", "/log2 n"]);
+    let mut table = TextTable::new(&[
+        "n",
+        "phase-3 start",
+        "completion round",
+        "phase-3 rounds used",
+        "/log2 n",
+    ]);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
 

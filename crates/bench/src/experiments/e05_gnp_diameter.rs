@@ -30,10 +30,14 @@ pub fn run(ctx: &Ctx) -> Report {
     ] {
         let p = d_target / n as f64;
         let predicted = ((n as f64).log2() / d_target.log2()).ceil() as u32;
-        let diams = parallel_trials(trials, ctx.seed ^ (n as u64 + d_target as u64), |_, seed| {
-            let g = gnp_directed(n, p, &mut derive_rng(seed, b"e5-g", 0));
-            diameter_from(&g, 0)
-        });
+        let diams = parallel_trials(
+            trials,
+            ctx.seed ^ (n as u64 + d_target as u64),
+            |_, seed| {
+                let g = gnp_directed(n, p, &mut derive_rng(seed, b"e5-g", 0));
+                diameter_from(&g, 0)
+            },
+        );
         let mut hist = std::collections::BTreeMap::new();
         for d in diams.iter().flatten() {
             *hist.entry(*d).or_insert(0usize) += 1;
@@ -41,7 +45,10 @@ pub fn run(ctx: &Ctx) -> Report {
         let exact = diams.iter().filter(|x| **x == Some(predicted)).count();
         let plus_one = diams
             .iter()
-            .filter(|x| x.map(|v| v == predicted || v == predicted + 1).unwrap_or(false))
+            .filter(|x| {
+                x.map(|v| v == predicted || v == predicted + 1)
+                    .unwrap_or(false)
+            })
             .count();
         let hist_str = hist
             .iter()

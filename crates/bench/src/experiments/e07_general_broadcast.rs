@@ -64,21 +64,33 @@ pub fn run(ctx: &Ctx) -> Report {
                 "Alg 3 (α)",
                 Box::new(move |seed| {
                     let out = run_general_broadcast(g, 0, &GeneralBroadcastConfig::new(n, d), seed);
-                    (out.all_informed, out.broadcast_time, out.mean_msgs_per_node())
+                    (
+                        out.all_informed,
+                        out.broadcast_time,
+                        out.mean_msgs_per_node(),
+                    )
                 }),
             ),
             (
                 "CR (α')",
                 Box::new(move |seed| {
                     let out = run_cr_broadcast(g, 0, &CrBroadcastConfig::new(n, d), seed);
-                    (out.all_informed, out.broadcast_time, out.mean_msgs_per_node())
+                    (
+                        out.all_informed,
+                        out.broadcast_time,
+                        out.mean_msgs_per_node(),
+                    )
                 }),
             ),
             (
                 "Decay",
                 Box::new(move |seed| {
                     let out = run_decay_broadcast(g, 0, &DecayConfig::new(n, d), seed);
-                    (out.all_informed, out.broadcast_time, out.mean_msgs_per_node())
+                    (
+                        out.all_informed,
+                        out.broadcast_time,
+                        out.mean_msgs_per_node(),
+                    )
                 }),
             ),
         ];

@@ -11,10 +11,7 @@ use radio_stats::SummaryStats;
 use radio_util::{derive_rng, TextTable};
 
 pub fn run(ctx: &Ctx) -> Report {
-    let mut report = Report::new(
-        "e8",
-        "E8 — Theorem 4.2: the time/energy trade-off in λ",
-    );
+    let mut report = Report::new("e8", "E8 — Theorem 4.2: the time/energy trade-off in λ");
     let trials = ctx.trials(8, 4);
     let _ = derive_rng(ctx.seed, b"unused", 0);
 
@@ -39,7 +36,11 @@ pub fn run(ctx: &Ctx) -> Report {
         let cfg = GeneralBroadcastConfig::new(n, d).with_lambda(lam);
         let outs = parallel_trials(trials, ctx.seed ^ (lam * 100.0) as u64, |_, seed| {
             let out = run_general_broadcast(&g, 0, &cfg, seed);
-            (out.all_informed, out.broadcast_time, out.mean_msgs_per_node())
+            (
+                out.all_informed,
+                out.broadcast_time,
+                out.mean_msgs_per_node(),
+            )
         });
         let succ = outs.iter().filter(|o| o.0).count();
         let times: Vec<f64> = outs.iter().filter_map(|o| o.1.map(|t| t as f64)).collect();

@@ -57,10 +57,7 @@ pub fn run(_ctx: &Ctx) -> Report {
         "E[q] (α)".to_string(),
         format!("{:.4} ≈ Θ(1/λ) = {:.4}", a.mean_q(), 1.0 / lambda),
     ]);
-    props.row(&[
-        "E[q] (α')".to_string(),
-        format!("{:.4}", ap.mean_q()),
-    ]);
+    props.row(&["E[q] (α')".to_string(), format!("{:.4}", ap.mean_q())]);
     props.row(&[
         "∀k: α_k ≥ α'_k / 2".to_string(),
         (1..=log2_n)

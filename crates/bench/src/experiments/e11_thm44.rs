@@ -30,11 +30,26 @@ pub fn run(ctx: &Ctx) -> Report {
         ("fixed q=1/16".into(), TimeInvariant::Fixed(1.0 / 16.0)),
         ("fixed q=1/64".into(), TimeInvariant::Fixed(1.0 / 64.0)),
         ("fixed q=1/256".into(), TimeInvariant::Fixed(1.0 / 256.0)),
-        ("uniform k".into(), TimeInvariant::Dist(KDistribution::uniform_k(l))),
-        ("α λ=2".into(), TimeInvariant::Dist(KDistribution::paper_alpha(l, 2.0))),
-        ("α λ=3".into(), TimeInvariant::Dist(KDistribution::paper_alpha(l, 3.0))),
-        ("α λ=4".into(), TimeInvariant::Dist(KDistribution::paper_alpha(l, 4.0))),
-        ("α' λ=3".into(), TimeInvariant::Dist(KDistribution::cr_alpha(l, 3.0))),
+        (
+            "uniform k".into(),
+            TimeInvariant::Dist(KDistribution::uniform_k(l)),
+        ),
+        (
+            "α λ=2".into(),
+            TimeInvariant::Dist(KDistribution::paper_alpha(l, 2.0)),
+        ),
+        (
+            "α λ=3".into(),
+            TimeInvariant::Dist(KDistribution::paper_alpha(l, 3.0)),
+        ),
+        (
+            "α λ=4".into(),
+            TimeInvariant::Dist(KDistribution::paper_alpha(l, 4.0)),
+        ),
+        (
+            "α' λ=3".into(),
+            TimeInvariant::Dist(KDistribution::cr_alpha(l, 3.0)),
+        ),
     ];
 
     let lam = (net.n_param as f64 / diameter as f64).log2().max(1.0);

@@ -34,7 +34,10 @@ pub fn run(ctx: &Ctx) -> Report {
         let strategies: Vec<(String, TimeInvariant)> = vec![
             ("fixed q=1/8".into(), TimeInvariant::Fixed(1.0 / 8.0)),
             ("fixed q=1/16".into(), TimeInvariant::Fixed(1.0 / 16.0)),
-            ("α λ=1".into(), TimeInvariant::Dist(KDistribution::paper_alpha(l, 1.0))),
+            (
+                "α λ=1".into(),
+                TimeInvariant::Dist(KDistribution::paper_alpha(l, 1.0)),
+            ),
         ];
         for (name, strat) in &strategies {
             // Budget c·D·λ with λ clamped to 1 in the deep regime ⇒ c·D.

@@ -43,14 +43,21 @@ pub fn run(ctx: &Ctx) -> Report {
             let a = run_ee_broadcast(&g, 0, &a_cfg, seed);
             let e = run_eg_broadcast(&g, 0, &e_cfg, seed);
             (
-                (a.all_informed, a.broadcast_time, a.max_msgs_per_node(), a.metrics.total_transmissions()),
-                (e.all_informed, e.broadcast_time, e.max_msgs_per_node(), e.metrics.total_transmissions()),
+                (
+                    a.all_informed,
+                    a.broadcast_time,
+                    a.max_msgs_per_node(),
+                    a.metrics.total_transmissions(),
+                ),
+                (
+                    e.all_informed,
+                    e.broadcast_time,
+                    e.max_msgs_per_node(),
+                    e.metrics.total_transmissions(),
+                ),
             )
         });
-        for (name, sel) in [
-            ("Alg 1 (paper)", 0usize),
-            ("Elsässer–Gasieniec", 1),
-        ] {
+        for (name, sel) in [("Alg 1 (paper)", 0usize), ("Elsässer–Gasieniec", 1)] {
             let rows: Vec<(bool, Option<u64>, u32, u64)> = outs
                 .iter()
                 .map(|(a, e)| if sel == 0 { *a } else { *e })
@@ -99,21 +106,36 @@ pub fn run(ctx: &Ctx) -> Report {
             "Alg 3 (α)",
             Box::new(|seed| {
                 let o = run_general_broadcast(&g, 0, &GeneralBroadcastConfig::new(n, d), seed);
-                (o.all_informed, o.broadcast_time, o.mean_msgs_per_node(), o.max_msgs_per_node())
+                (
+                    o.all_informed,
+                    o.broadcast_time,
+                    o.mean_msgs_per_node(),
+                    o.max_msgs_per_node(),
+                )
             }),
         ),
         (
             "CR (α') + stop",
             Box::new(|seed| {
                 let o = run_cr_broadcast(&g, 0, &CrBroadcastConfig::new(n, d), seed);
-                (o.all_informed, o.broadcast_time, o.mean_msgs_per_node(), o.max_msgs_per_node())
+                (
+                    o.all_informed,
+                    o.broadcast_time,
+                    o.mean_msgs_per_node(),
+                    o.max_msgs_per_node(),
+                )
             }),
         ),
         (
             "Decay",
             Box::new(|seed| {
                 let o = run_decay_broadcast(&g, 0, &DecayConfig::new(n, d), seed);
-                (o.all_informed, o.broadcast_time, o.mean_msgs_per_node(), o.max_msgs_per_node())
+                (
+                    o.all_informed,
+                    o.broadcast_time,
+                    o.mean_msgs_per_node(),
+                    o.max_msgs_per_node(),
+                )
             }),
         ),
     ];

@@ -15,7 +15,10 @@ use radio_stats::SummaryStats;
 use radio_util::{derive_rng, TextTable};
 
 pub fn run(ctx: &Ctx) -> Report {
-    let mut report = Report::new("e14", "E14 — ablations (Phase-2 reading, β, shared sequence, γ)");
+    let mut report = Report::new(
+        "e14",
+        "E14 — ablations (Phase-2 reading, β, shared sequence, γ)",
+    );
     let trials = ctx.trials(16, 6);
 
     // (a) Phase-2 passivation reading — including the T-boundary instance
@@ -28,9 +31,14 @@ pub fn run(ctx: &Ctx) -> Report {
         "bcast time",
         "total msgs",
     ]);
-    let mut instances: Vec<(&str, usize, f64)> = vec![("n=4096 δ=6", 4096, 6.0 * (4096f64).ln() / 4096.0)];
+    let mut instances: Vec<(&str, usize, f64)> =
+        vec![("n=4096 δ=6", 4096, 6.0 * (4096f64).ln() / 4096.0)];
     if ctx.scale >= 0.9 {
-        instances.push(("n=2^18 d=64 (T=3 boundary)", 1 << 18, 64.0 / (1 << 18) as f64));
+        instances.push((
+            "n=2^18 d=64 (T=3 boundary)",
+            1 << 18,
+            64.0 / (1 << 18) as f64,
+        ));
     }
     for (label, n, p) in instances {
         for literal in [true, false] {
@@ -54,10 +62,19 @@ pub fn run(ctx: &Ctx) -> Report {
             let fracs: Vec<f64> = outs.iter().map(|o| o.3).collect();
             t_a.row(&[
                 label.to_string(),
-                if literal { "literal (all passivate)" } else { "transmitters only" }.to_string(),
+                if literal {
+                    "literal (all passivate)"
+                } else {
+                    "transmitters only"
+                }
+                .to_string(),
                 format!("{succ}/{trials}"),
                 format!("{:.5}", radio_stats::mean(&fracs)),
-                if times.is_empty() { "—".into() } else { format!("{:.0}", SummaryStats::from_slice(&times).mean) },
+                if times.is_empty() {
+                    "—".into()
+                } else {
+                    format!("{:.0}", SummaryStats::from_slice(&times).mean)
+                },
                 format!("{:.0}", SummaryStats::from_slice(&totals).mean),
             ]);
         }
@@ -77,7 +94,11 @@ pub fn run(ctx: &Ctx) -> Report {
         let outs = parallel_trials(trials, ctx.seed ^ (beta as u64) << 3, |_, seed| {
             let g = gnp_directed(n, p, &mut derive_rng(seed, b"e14b-g", 0));
             let out = run_ee_broadcast(&g, 0, &cfg, seed);
-            (out.all_informed, out.informed, out.metrics.total_transmissions() as f64)
+            (
+                out.all_informed,
+                out.informed,
+                out.metrics.total_transmissions() as f64,
+            )
         });
         let succ = outs.iter().filter(|o| o.0).count();
         let min_informed = outs.iter().map(|o| o.1).min().unwrap_or(0);
@@ -105,15 +126,28 @@ pub fn run(ctx: &Ctx) -> Report {
         };
         let outs = parallel_trials(trials, ctx.seed ^ (private as u64) << 5, |_, seed| {
             let out = run_general_broadcast(&g, 0, &cfg, seed);
-            (out.all_informed, out.broadcast_time, out.mean_msgs_per_node())
+            (
+                out.all_informed,
+                out.broadcast_time,
+                out.mean_msgs_per_node(),
+            )
         });
         let succ = outs.iter().filter(|o| o.0).count();
         let times: Vec<f64> = outs.iter().filter_map(|o| o.1.map(|t| t as f64)).collect();
         let msgs: Vec<f64> = outs.iter().map(|o| o.2).collect();
         t_c.row(&[
-            if private { "private (per node)" } else { "shared (Algorithm 3)" }.to_string(),
+            if private {
+                "private (per node)"
+            } else {
+                "shared (Algorithm 3)"
+            }
+            .to_string(),
             format!("{succ}/{trials}"),
-            if times.is_empty() { "—".into() } else { format!("{:.0}", SummaryStats::from_slice(&times).mean) },
+            if times.is_empty() {
+                "—".into()
+            } else {
+                format!("{:.0}", SummaryStats::from_slice(&times).mean)
+            },
             format!("{:.2}", SummaryStats::from_slice(&msgs).mean),
         ]);
     }
@@ -138,7 +172,11 @@ pub fn run(ctx: &Ctx) -> Report {
         let outs = parallel_trials(trials, ctx.seed ^ (gamma as u64) << 7, |_, seed| {
             let g = gnp_directed(n_g, p_g, &mut derive_rng(seed, b"e14d-g", 0));
             let out = run_ee_gossip(&g, &cfg, seed);
-            (out.completed, out.gossip_time, out.max_msgs_per_node() as f64)
+            (
+                out.completed,
+                out.gossip_time,
+                out.max_msgs_per_node() as f64,
+            )
         });
         let succ = outs.iter().filter(|o| o.0).count();
         let times: Vec<f64> = outs.iter().filter_map(|o| o.1.map(|t| t as f64)).collect();
@@ -146,7 +184,11 @@ pub fn run(ctx: &Ctx) -> Report {
         t_d.row(&[
             format!("{gamma}"),
             format!("{succ}/{trials}"),
-            if times.is_empty() { "—".into() } else { format!("{:.0}", SummaryStats::from_slice(&times).mean) },
+            if times.is_empty() {
+                "—".into()
+            } else {
+                format!("{:.0}", SummaryStats::from_slice(&times).mean)
+            },
             format!("{:.1}", SummaryStats::from_slice(&maxs).mean),
         ]);
     }

@@ -36,18 +36,29 @@ pub fn run(ctx: &Ctx) -> Report {
         // Pre-sample diameters for the header column.
         let diams: Vec<f64> = (0..4)
             .filter_map(|i| {
-                let (g, _) = random_geometric(n, params.r_min, &mut derive_rng(ctx.seed, b"e15-d", i));
+                let (g, _) =
+                    random_geometric(n, params.r_min, &mut derive_rng(ctx.seed, b"e15-d", i));
                 diameter_from(&g, 0).map(|d| d as f64)
             })
             .collect();
-        let mean_diam = if diams.is_empty() { f64::NAN } else { radio_stats::mean(&diams) };
+        let mean_diam = if diams.is_empty() {
+            f64::NAN
+        } else {
+            radio_stats::mean(&diams)
+        };
 
         // Algorithm 1 with the equivalent-density parameterisation.
         let p_equiv = target_deg / n as f64;
         let outs = parallel_trials(trials, ctx.seed ^ target_deg as u64, |_, seed| {
             let (g, _) = random_geometric(n, params.r_min, &mut derive_rng(seed, b"e15-g", 0));
             let out = run_ee_broadcast(&g, 0, &EeBroadcastConfig::for_gnp(n, p_equiv), seed);
-            (out.all_informed, out.broadcast_time, out.max_msgs_per_node() as f64, out.mean_msgs_per_node(), out.informed)
+            (
+                out.all_informed,
+                out.broadcast_time,
+                out.max_msgs_per_node() as f64,
+                out.mean_msgs_per_node(),
+                out.informed,
+            )
         });
         let succ = outs.iter().filter(|o| o.0).count();
         let times: Vec<f64> = outs.iter().filter_map(|o| o.1.map(|t| t as f64)).collect();
@@ -58,12 +69,21 @@ pub fn run(ctx: &Ctx) -> Report {
             "Alg 1 (G(n,p) params)".to_string(),
             format!("{succ}/{trials}"),
             if times.is_empty() {
-                format!("informed {:.0}/{n}", SummaryStats::from_slice(&informed).mean)
+                format!(
+                    "informed {:.0}/{n}",
+                    SummaryStats::from_slice(&informed).mean
+                )
             } else {
                 format!("{:.0}", SummaryStats::from_slice(&times).mean)
             },
-            format!("{:.0}", SummaryStats::from_slice(&outs.iter().map(|o| o.2).collect::<Vec<_>>()).max),
-            format!("{:.2}", SummaryStats::from_slice(&outs.iter().map(|o| o.3).collect::<Vec<_>>()).mean),
+            format!(
+                "{:.0}",
+                SummaryStats::from_slice(&outs.iter().map(|o| o.2).collect::<Vec<_>>()).max
+            ),
+            format!(
+                "{:.2}",
+                SummaryStats::from_slice(&outs.iter().map(|o| o.3).collect::<Vec<_>>()).mean
+            ),
         ]);
 
         // Algorithm 3 with the true (measured) diameter: geometry-agnostic.
@@ -71,7 +91,12 @@ pub fn run(ctx: &Ctx) -> Report {
             let (g, _) = random_geometric(n, params.r_min, &mut derive_rng(seed, b"e15-g", 0));
             let d = diameter_from(&g, 0)?;
             let out = run_general_broadcast(&g, 0, &GeneralBroadcastConfig::new(n, d), seed);
-            Some((out.all_informed, out.broadcast_time, out.max_msgs_per_node() as f64, out.mean_msgs_per_node()))
+            Some((
+                out.all_informed,
+                out.broadcast_time,
+                out.max_msgs_per_node() as f64,
+                out.mean_msgs_per_node(),
+            ))
         });
         let valid: Vec<_> = outs.into_iter().flatten().collect();
         let succ = valid.iter().filter(|o| o.0).count();
@@ -82,9 +107,19 @@ pub fn run(ctx: &Ctx) -> Report {
                 format!("{mean_diam:.0}"),
                 "Alg 3 (known D)".to_string(),
                 format!("{succ}/{}", valid.len()),
-                if times.is_empty() { "—".into() } else { format!("{:.0}", SummaryStats::from_slice(&times).mean) },
-                format!("{:.0}", SummaryStats::from_slice(&valid.iter().map(|o| o.2).collect::<Vec<_>>()).max),
-                format!("{:.2}", SummaryStats::from_slice(&valid.iter().map(|o| o.3).collect::<Vec<_>>()).mean),
+                if times.is_empty() {
+                    "—".into()
+                } else {
+                    format!("{:.0}", SummaryStats::from_slice(&times).mean)
+                },
+                format!(
+                    "{:.0}",
+                    SummaryStats::from_slice(&valid.iter().map(|o| o.2).collect::<Vec<_>>()).max
+                ),
+                format!(
+                    "{:.2}",
+                    SummaryStats::from_slice(&valid.iter().map(|o| o.3).collect::<Vec<_>>()).mean
+                ),
             ]);
         }
 
@@ -97,7 +132,12 @@ pub fn run(ctx: &Ctx) -> Report {
         let outs = parallel_trials(trials, ctx.seed ^ (target_deg as u64) << 4, |_, seed| {
             let (g, _) = random_geometric(n, params.r_min, &mut derive_rng(seed, b"e15-g", 0));
             let out = run_ee_gossip(&g, &gossip_cfg, seed);
-            (out.completed, out.gossip_time, out.max_msgs_per_node() as f64, out.mean_msgs_per_node())
+            (
+                out.completed,
+                out.gossip_time,
+                out.max_msgs_per_node() as f64,
+                out.mean_msgs_per_node(),
+            )
         });
         let succ = outs.iter().filter(|o| o.0).count();
         let times: Vec<f64> = outs.iter().filter_map(|o| o.1.map(|t| t as f64)).collect();
@@ -106,9 +146,19 @@ pub fn run(ctx: &Ctx) -> Report {
             format!("{mean_diam:.0}"),
             "Alg 2 gossip".to_string(),
             format!("{succ}/{trials}"),
-            if times.is_empty() { "—".into() } else { format!("{:.0}", SummaryStats::from_slice(&times).mean) },
-            format!("{:.0}", SummaryStats::from_slice(&outs.iter().map(|o| o.2).collect::<Vec<_>>()).max),
-            format!("{:.2}", SummaryStats::from_slice(&outs.iter().map(|o| o.3).collect::<Vec<_>>()).mean),
+            if times.is_empty() {
+                "—".into()
+            } else {
+                format!("{:.0}", SummaryStats::from_slice(&times).mean)
+            },
+            format!(
+                "{:.0}",
+                SummaryStats::from_slice(&outs.iter().map(|o| o.2).collect::<Vec<_>>()).max
+            ),
+            format!(
+                "{:.2}",
+                SummaryStats::from_slice(&outs.iter().map(|o| o.3).collect::<Vec<_>>()).mean
+            ),
         ]);
     }
 

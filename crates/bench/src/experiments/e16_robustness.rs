@@ -8,7 +8,7 @@
 //! * broadcast under fail-stop crashes of a random node fraction.
 
 use crate::{Ctx, Report};
-use radio_core::broadcast::ee_general::{GeneralBroadcastConfig};
+use radio_core::broadcast::ee_general::GeneralBroadcastConfig;
 use radio_core::broadcast::ee_random::{EeBroadcastConfig, EeRandomBroadcast};
 use radio_core::broadcast::windowed::{ProbSource, WindowedBroadcast, WindowedSpec};
 use radio_core::gossip::{EeGossip, EeGossipConfig};
@@ -106,13 +106,9 @@ pub fn run(ctx: &Ctx) -> Report {
             let g = gnp_directed(n_b, p_b, &mut derive_rng(seed, b"e16-g", 0));
             // Spare the source: the measurement is dissemination under
             // relay loss, not "the message died with its originator".
-            let plan = CrashPlan::random_fraction(
-                n_b,
-                frac,
-                3,
-                &mut derive_rng(seed, b"e16-crash", 0),
-            )
-            .spare(0);
+            let plan =
+                CrashPlan::random_fraction(n_b, frac, 3, &mut derive_rng(seed, b"e16-crash", 0))
+                    .spare(0);
             let survivors = plan.survivors();
 
             let a_cfg = EeBroadcastConfig::for_gnp(n_b, p_b);

@@ -77,7 +77,9 @@ impl CrBroadcastConfig {
     pub fn max_rounds(&self) -> u64 {
         let l = (self.n as f64).log2();
         let scale = self.diameter as f64 * self.lambda() + l * l;
-        (8.0 * scale).ceil() as u64 + self.window().unwrap_or(0) + (4.0 * l * l * self.lambda()) as u64
+        (8.0 * scale).ceil() as u64
+            + self.window().unwrap_or(0)
+            + (4.0 * l * l * self.lambda()) as u64
     }
 }
 

@@ -51,7 +51,9 @@ impl DecayConfig {
 
     /// The decay probability cycle `1, 1/2, …, 2^{−(E−1)}`.
     pub fn cycle(&self) -> Vec<f64> {
-        (0..self.epoch_len()).map(|j| 2f64.powi(-(j as i32))).collect()
+        (0..self.epoch_len())
+            .map(|j| 2f64.powi(-(j as i32)))
+            .collect()
     }
 
     /// Round budget.

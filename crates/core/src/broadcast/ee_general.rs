@@ -94,12 +94,18 @@ impl GeneralBroadcastConfig {
     pub fn max_rounds(&self) -> u64 {
         let l = (self.n as f64).log2();
         let scale = self.diameter as f64 * self.effective_lambda() + l * l;
-        (8.0 * scale).ceil() as u64 + self.window() + general_time_scale(self.n, self.diameter) as u64
+        (8.0 * scale).ceil() as u64
+            + self.window()
+            + general_time_scale(self.n, self.diameter) as u64
     }
 
     /// Build the transmit distribution this config implies.
     pub fn distribution(&self) -> KDistribution {
-        KDistribution::of_kind(self.kind, ilog2_ceil(self.n as u64).max(1), self.effective_lambda())
+        KDistribution::of_kind(
+            self.kind,
+            ilog2_ceil(self.n as u64).max(1),
+            self.effective_lambda(),
+        )
     }
 }
 
@@ -115,7 +121,10 @@ pub fn run_general_broadcast(
     let prob_source = if cfg.private_sequence {
         ProbSource::Private(dist)
     } else {
-        ProbSource::Shared(SharedSequence::new(dist, radio_util::split_seed(seed, b"seq", 0)))
+        ProbSource::Shared(SharedSequence::new(
+            dist,
+            radio_util::split_seed(seed, b"seq", 0),
+        ))
     };
     let spec = WindowedSpec {
         source: prob_source,
@@ -134,8 +143,8 @@ pub fn run_general_broadcast(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use radio_graph::generate::{caterpillar, grid2d, path};
     use radio_graph::analysis::diameter_from;
+    use radio_graph::generate::{caterpillar, grid2d, path};
 
     #[test]
     fn completes_on_a_path() {

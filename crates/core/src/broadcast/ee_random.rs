@@ -146,7 +146,10 @@ impl EeRandomBroadcast {
     }
 
     fn transmit_now(&mut self, node: NodeId) -> Action {
-        debug_assert!(!self.sent[node as usize], "node {node} would transmit twice");
+        debug_assert!(
+            !self.sent[node as usize],
+            "node {node} would transmit twice"
+        );
         self.sent[node as usize] = true;
         self.go_passive(node);
         Action::Transmit
@@ -292,7 +295,11 @@ mod tests {
         for seed in 0..5 {
             let (g, cfg) = sparse_instance(1024, 8.0, seed);
             let out = run_ee_broadcast(&g, 0, &cfg, seed);
-            assert!(out.all_informed, "seed {seed}: {}/{} informed", out.informed, out.n);
+            assert!(
+                out.all_informed,
+                "seed {seed}: {}/{} informed",
+                out.informed, out.n
+            );
         }
     }
 

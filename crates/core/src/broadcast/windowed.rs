@@ -113,7 +113,10 @@ impl Protocol for WindowedBroadcast {
     }
 
     fn decide(&mut self, node: NodeId, round: u64, rng: &mut ChaCha8Rng) -> Action {
-        assert!(self.informed.is_informed(node), "uninformed node was polled");
+        assert!(
+            self.informed.is_informed(node),
+            "uninformed node was polled"
+        );
         let t_u = self.informed.informed_round(node);
         if let Some(w) = self.spec.window {
             if round > t_u + w {

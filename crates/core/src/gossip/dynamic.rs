@@ -241,7 +241,10 @@ mod tests {
         let scale = (params.d * (128f64).log2()) as u64;
         let cfg = DynamicGossipConfig {
             params,
-            births: vec![RumorBirth { round: 1, origin: 0 }],
+            births: vec![RumorBirth {
+                round: 1,
+                origin: 0,
+            }],
             ttl: 20 * scale,
             rounds: 20 * scale,
         };
@@ -256,7 +259,10 @@ mod tests {
         let (g, params) = setup(128, 1);
         let cfg = DynamicGossipConfig {
             params,
-            births: vec![RumorBirth { round: 1, origin: 0 }],
+            births: vec![RumorBirth {
+                round: 1,
+                origin: 0,
+            }],
             ttl: 2,
             rounds: 5000,
         };
@@ -297,8 +303,14 @@ mod tests {
         let cfg = DynamicGossipConfig {
             params,
             births: vec![
-                RumorBirth { round: 9, origin: 0 },
-                RumorBirth { round: 2, origin: 1 },
+                RumorBirth {
+                    round: 9,
+                    origin: 0,
+                },
+                RumorBirth {
+                    round: 2,
+                    origin: 1,
+                },
             ],
             ttl: 10,
             rounds: 100,

@@ -255,10 +255,7 @@ mod tests {
         assert!(out.completed);
         let t = out.gossip_time.expect("completed") as f64;
         let scale = cfg.params.d * (512f64).log2();
-        assert!(
-            t < 3.0 * scale,
-            "gossip time {t} ≫ d log n = {scale}"
-        );
+        assert!(t < 3.0 * scale, "gossip time {t} ≫ d log n = {scale}");
         assert!(t > 0.05 * scale, "suspiciously fast: {t} vs scale {scale}");
     }
 
@@ -303,7 +300,10 @@ mod tests {
         let engine_cfg = EngineConfig::with_max_rounds(cfg.schedule_rounds());
         let _ = radio_sim::engine::run_protocol(&g, &mut protocol, engine_cfg, &mut rng);
         for v in 0..128 {
-            assert!(protocol.rumors[v].contains(v), "node {v} lost its own rumor");
+            assert!(
+                protocol.rumors[v].contains(v),
+                "node {v} lost its own rumor"
+            );
         }
     }
 

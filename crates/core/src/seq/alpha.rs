@@ -53,10 +53,7 @@ impl KDistribution {
     /// Panics if any mass is negative.
     pub fn from_probs(mut probs: Vec<f64>, lambda: f64) -> Self {
         assert!(!probs.is_empty(), "empty support");
-        assert!(
-            probs.iter().all(|&p| p >= 0.0),
-            "negative probability mass"
-        );
+        assert!(probs.iter().all(|&p| p >= 0.0), "negative probability mass");
         let total: f64 = probs.iter().sum();
         let norm = if total > 1.0 {
             for p in probs.iter_mut() {

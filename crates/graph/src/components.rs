@@ -54,8 +54,7 @@ pub fn strongly_connected_components(g: &DiGraph) -> Vec<Vec<NodeId>> {
             } else {
                 frames.pop();
                 if let Some(&(parent, _)) = frames.last() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     let mut comp = Vec::new();
@@ -162,10 +161,7 @@ mod tests {
     #[test]
     fn scc_two_cycles_with_bridge() {
         // cycle {0,1,2} → bridge → cycle {3,4}.
-        let g = DiGraph::from_edges(
-            5,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)],
-        );
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)]);
         let mut comps = strongly_connected_components(&g);
         comps.sort_by_key(|c| c.len());
         assert_eq!(comps.len(), 2);

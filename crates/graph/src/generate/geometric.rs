@@ -66,7 +66,10 @@ fn torus_dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
 /// Edge rule: `u → v` iff `dist(u, v) ≤ radius[u]` (u's range covers v).
 fn generate<R: Rng + ?Sized>(params: GeoParams, rng: &mut R) -> (DiGraph, Vec<(f64, f64)>) {
     let GeoParams { n, r_min, r_max } = params;
-    assert!(r_min > 0.0 && r_max >= r_min && r_max <= 0.5, "radii must satisfy 0 < r_min ≤ r_max ≤ 0.5 (torus)");
+    assert!(
+        r_min > 0.0 && r_max >= r_min && r_max <= 0.5,
+        "radii must satisfy 0 < r_min ≤ r_max ≤ 0.5 (torus)"
+    );
     let pos: Vec<(f64, f64)> = (0..n)
         .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
         .collect();

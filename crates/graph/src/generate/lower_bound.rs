@@ -192,7 +192,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for d in sc.destinations.clone() {
             for &p in sc.graph.in_neighbors(d) {
-                assert!(seen.insert(p), "intermediate {p} shared by two destinations");
+                assert!(
+                    seen.insert(p),
+                    "intermediate {p} shared by two destinations"
+                );
             }
         }
         assert_eq!(seen.len(), 14);

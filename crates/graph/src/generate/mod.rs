@@ -21,7 +21,9 @@ pub mod lower_bound;
 pub mod structured;
 
 pub use classic::{binary_tree, caterpillar, complete, cycle, grid2d, path, star};
-pub use geometric::{mobile_geometric_sequence, random_geometric, random_geometric_directed, GeoParams};
+pub use geometric::{
+    mobile_geometric_sequence, random_geometric, random_geometric_directed, GeoParams,
+};
 pub use gnp::{gnp_directed, gnp_undirected};
 pub use lower_bound::{lower_bound_net, star_chain, LowerBoundNet, StarChain};
 pub use structured::{clustered, hypercube, random_out_regular, torus2d};

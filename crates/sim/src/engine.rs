@@ -576,7 +576,10 @@ mod tests {
             record_trace: false,
         };
         let _ = run_protocol(&g, &mut p, cfg, &mut rng);
-        assert_eq!(p.rx, 20, "each node receives the other's message each round");
+        assert_eq!(
+            p.rx, 20,
+            "each node receives the other's message each round"
+        );
     }
 
     #[test]
@@ -678,7 +681,10 @@ mod tests {
             let mut rng = derive_rng(seed, b"reuse", 0);
             let res = eng.run(&mut p, &mut rng);
             assert!(res.completed);
-            assert_eq!(res.rounds, 7, "seed {seed}: scratch state leaked across runs");
+            assert_eq!(
+                res.rounds, 7,
+                "seed {seed}: scratch state leaked across runs"
+            );
         }
     }
 

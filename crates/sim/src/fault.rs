@@ -173,7 +173,14 @@ mod tests {
             Action::Transmit
         }
         fn payload(&self, _n: NodeId, _r: u64) -> Self::Msg {}
-        fn on_receive(&mut self, n: NodeId, _f: NodeId, _r: u64, _m: &Self::Msg, _rng: &mut ChaCha8Rng) {
+        fn on_receive(
+            &mut self,
+            n: NodeId,
+            _f: NodeId,
+            _r: u64,
+            _m: &Self::Msg,
+            _rng: &mut ChaCha8Rng,
+        ) {
             if !self.informed[n as usize] {
                 self.informed[n as usize] = true;
                 self.count += 1;

@@ -140,7 +140,11 @@ mod tests {
         let xs: Vec<f64> = (4..=17).map(|k| (1u64 << k) as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 7.0 * x.ln()).collect();
         let f = log_log_slope(&xs, &ys);
-        assert!(f.slope < 0.2, "log data fit slope {} should be ≪ 1", f.slope);
+        assert!(
+            f.slope < 0.2,
+            "log data fit slope {} should be ≪ 1",
+            f.slope
+        );
     }
 
     #[test]

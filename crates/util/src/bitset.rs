@@ -90,7 +90,11 @@ impl BitSet {
     /// Panics if `key >= capacity`.
     #[inline]
     pub fn insert(&mut self, key: usize) -> bool {
-        assert!(key < self.capacity, "key {key} out of capacity {}", self.capacity);
+        assert!(
+            key < self.capacity,
+            "key {key} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (key / 64, key % 64);
         let mask = 1u64 << b;
         let fresh = self.words[w] & mask == 0;
@@ -102,7 +106,11 @@ impl BitSet {
     /// Remove `key`; returns `true` if it was present.
     #[inline]
     pub fn remove(&mut self, key: usize) -> bool {
-        assert!(key < self.capacity, "key {key} out of capacity {}", self.capacity);
+        assert!(
+            key < self.capacity,
+            "key {key} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (key / 64, key % 64);
         let mask = 1u64 << b;
         let present = self.words[w] & mask != 0;

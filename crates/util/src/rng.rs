@@ -99,7 +99,9 @@ mod tests {
     fn derived_rngs_differ_across_indices() {
         let mut r1 = derive_rng(7, b"x", 0);
         let mut r2 = derive_rng(7, b"x", 1);
-        let same = (0..64).filter(|_| r1.random::<u64>() == r2.random::<u64>()).count();
+        let same = (0..64)
+            .filter(|_| r1.random::<u64>() == r2.random::<u64>())
+            .count();
         assert!(same < 2, "streams look correlated");
     }
 

@@ -14,14 +14,20 @@
 use adhoc_radio::prelude::*;
 
 fn main() {
-    let n = 2048;
+    let n = adhoc_radio::example_scale(2048, 256);
     let delta = 8.0;
     let p = delta * (n as f64).ln() / n as f64;
     let g = gnp_directed(n, p, &mut derive_rng(5, b"storm", 0));
     let d = n as f64 * p;
     println!("G(n,p): n = {n}, d = np = {d:.0}\n");
 
-    let mut table = TextTable::new(&["protocol", "informed", "rounds", "total msgs", "max msgs/node"]);
+    let mut table = TextTable::new(&[
+        "protocol",
+        "informed",
+        "rounds",
+        "total msgs",
+        "max msgs/node",
+    ]);
 
     // 1. The storm: flooding with probability 1.
     let out = run_flood_broadcast(&g, 0, &FloodConfig::naive(400), 1);
@@ -38,7 +44,9 @@ fn main() {
     table.row(&[
         "prob flood (q=1/d)".to_string(),
         format!("{}/{}", out.informed, n),
-        out.broadcast_time.map_or(out.rounds_executed, |t| t).to_string(),
+        out.broadcast_time
+            .map_or(out.rounds_executed, |t| t)
+            .to_string(),
         out.metrics.total_transmissions().to_string(),
         out.max_msgs_per_node().to_string(),
     ]);
@@ -48,7 +56,9 @@ fn main() {
     table.row(&[
         "BGI Decay".to_string(),
         format!("{}/{}", out.informed, n),
-        out.broadcast_time.map_or(out.rounds_executed, |t| t).to_string(),
+        out.broadcast_time
+            .map_or(out.rounds_executed, |t| t)
+            .to_string(),
         out.metrics.total_transmissions().to_string(),
         out.max_msgs_per_node().to_string(),
     ]);
@@ -58,7 +68,9 @@ fn main() {
     table.row(&[
         "Algorithm 1 (paper)".to_string(),
         format!("{}/{}", out.informed, n),
-        out.broadcast_time.map_or(out.rounds_executed, |t| t).to_string(),
+        out.broadcast_time
+            .map_or(out.rounds_executed, |t| t)
+            .to_string(),
         out.metrics.total_transmissions().to_string(),
         out.max_msgs_per_node().to_string(),
     ]);

@@ -16,16 +16,14 @@ fn main() {
     // 96 road-side units, each with 20 vehicles in range: n = 2016,
     // D = 97 — the deep-but-not-degenerate regime where the trade-offs
     // are visible.
-    let spine = 96;
-    let legs = 20;
+    let spine = adhoc_radio::example_scale(96, 24);
+    let legs = adhoc_radio::example_scale(20, 6);
     let g = caterpillar(spine, legs);
     let n = g.n();
     let source = 0;
     let d = diameter_from(&g, source).expect("connected");
     let lam = lambda(n, d);
-    println!(
-        "network: caterpillar, n = {n}, D = {d}, λ = log2(n/D) = {lam:.2}\n"
-    );
+    println!("network: caterpillar, n = {n}, D = {d}, λ = log2(n/D) = {lam:.2}\n");
 
     let seeds = 0..10u64;
     let mut rows: Vec<(String, f64, f64, f64, usize)> = Vec::new();
@@ -46,7 +44,13 @@ fn main() {
                 done += 1;
             }
         }
-        rows.push(("Algorithm 3 (α)".into(), time / done.max(1) as f64, mean_msgs / 10.0, max_msgs / 10.0, done));
+        rows.push((
+            "Algorithm 3 (α)".into(),
+            time / done.max(1) as f64,
+            mean_msgs / 10.0,
+            max_msgs / 10.0,
+            done,
+        ));
     }
 
     // Czumaj–Rytter with the stop transformation.
@@ -64,7 +68,13 @@ fn main() {
                 done += 1;
             }
         }
-        rows.push(("Czumaj–Rytter (α')".into(), time / done.max(1) as f64, mean_msgs / 10.0, max_msgs / 10.0, done));
+        rows.push((
+            "Czumaj–Rytter (α')".into(),
+            time / done.max(1) as f64,
+            mean_msgs / 10.0,
+            max_msgs / 10.0,
+            done,
+        ));
     }
 
     // BGI Decay (doesn't know D; never retires).
@@ -82,7 +92,13 @@ fn main() {
                 done += 1;
             }
         }
-        rows.push(("BGI Decay".into(), time / done.max(1) as f64, mean_msgs / 10.0, max_msgs / 10.0, done));
+        rows.push((
+            "BGI Decay".into(),
+            time / done.max(1) as f64,
+            mean_msgs / 10.0,
+            max_msgs / 10.0,
+            done,
+        ));
     }
 
     let mut table = TextTable::new(&[

@@ -14,13 +14,16 @@ fn main() {
     // A deep network (D ≈ n/2) gives λ its full range [log(n/D), log n] ≈
     // [1, log n]; on shallow networks the interval collapses and the
     // trade-off flattens into constants.
-    let g = caterpillar(256, 1); // n = 512, D = 257
+    // n = 2·spine, D = spine + 1; 512 nodes at full scale.
+    let g = caterpillar(adhoc_radio::example_scale(256, 48), 1);
     let n = g.n();
     let source = 0;
     let d = diameter_from(&g, source).expect("connected");
     let l = (n as f64).log2();
     let lam_min = lambda(n, d);
-    println!("caterpillar: n = {n}, D = {d}; λ ranges over [log(n/D), log n] = [{lam_min:.1}, {l:.1}]\n");
+    println!(
+        "caterpillar: n = {n}, D = {d}; λ ranges over [log(n/D), log n] = [{lam_min:.1}, {l:.1}]\n"
+    );
 
     let trials = 8;
     let mut table = TextTable::new(&[

@@ -17,8 +17,8 @@ use adhoc_radio::prelude::*;
 use adhoc_radio::util::ilog2_ceil;
 
 fn main() {
-    let k = 7; // n = 128
-    let diameter = 64; // > 4 log n, as the theorem assumes
+    let k = adhoc_radio::example_scale(7, 5) as u32; // n = 2^k = 128 at full scale
+    let diameter = adhoc_radio::example_scale(64, 32) as u32; // > 4 log n, as the theorem assumes
     let net = lower_bound_net(k, diameter);
     let n_nodes = net.graph.n();
     let l = ilog2_ceil(n_nodes as u64);
@@ -35,7 +35,10 @@ fn main() {
         ("fixed q = 1/2".into(), TimeInvariant::Fixed(0.5)),
         ("fixed q = 1/16".into(), TimeInvariant::Fixed(1.0 / 16.0)),
         ("fixed q = 1/128".into(), TimeInvariant::Fixed(1.0 / 128.0)),
-        ("uniform k".into(), TimeInvariant::Dist(KDistribution::uniform_k(l))),
+        (
+            "uniform k".into(),
+            TimeInvariant::Dist(KDistribution::uniform_k(l)),
+        ),
         (
             "paper α (λ=1)".into(),
             TimeInvariant::Dist(KDistribution::paper_alpha(l, 1.0)),

@@ -11,12 +11,17 @@ fn main() {
     // An ad-hoc network of n radios: the directed Erdős–Rényi model of
     // the paper's §2, with p = δ·ln n / n comfortably above the
     // connectivity threshold. Nodes know n and p — nothing else.
-    let n = 4096;
+    let n = adhoc_radio::example_scale(4096, 256);
     let delta = 8.0;
     let p = delta * (n as f64).ln() / n as f64;
     let mut rng = derive_rng(2024, b"quickstart-graph", 0);
     let graph = gnp_directed(n, p, &mut rng);
-    println!("network: n = {}, directed edges = {}, d = np = {:.1}", graph.n(), graph.m(), n as f64 * p);
+    println!(
+        "network: n = {}, directed edges = {}, d = np = {:.1}",
+        graph.n(),
+        graph.m(),
+        n as f64 * p
+    );
 
     // Algorithm 1: three phases, at most ONE transmission per node.
     let cfg = EeBroadcastConfig::for_gnp(n, p);
@@ -51,6 +56,8 @@ fn main() {
     // Contrast: what a naive "everyone repeats the message" flood does in
     // the radio model — permanent collisions, nothing moves.
     let flood = run_flood_broadcast(&graph, source, &FloodConfig::naive(500), 7);
-    println!("\nnaive flooding on the same network: {}/{} informed after {} rounds (collisions!)",
-        flood.informed, flood.n, flood.rounds_executed);
+    println!(
+        "\nnaive flooding on the same network: {}/{} informed after {} rounds (collisions!)",
+        flood.informed, flood.n, flood.rounds_executed
+    );
 }

@@ -16,14 +16,17 @@ use adhoc_radio::prelude::*;
 
 fn main() {
     // --- static gossip on G(n,p), the analysed model ---------------------
-    let n = 1024;
+    let n = adhoc_radio::example_scale(1024, 128);
     let delta = 8.0;
     let p = delta * (n as f64).ln() / n as f64;
     let mut rng = derive_rng(99, b"sensor-gnp", 0);
     let gnp = gnp_directed(n, p, &mut rng);
     let cfg = EeGossipConfig::for_gnp(n, p);
     let d = cfg.params.d;
-    println!("G(n,p): n = {n}, d = {d:.1}, schedule = {} rounds", cfg.schedule_rounds());
+    println!(
+        "G(n,p): n = {n}, d = {d:.1}, schedule = {} rounds",
+        cfg.schedule_rounds()
+    );
 
     let out = run_ee_gossip(&gnp, &cfg, 1);
     println!(
@@ -47,8 +50,13 @@ fn main() {
     let mut rng = derive_rng(99, b"sensor-rgg", 0);
     let (field, _positions) = random_geometric_directed(params, &mut rng);
     let mean_deg = field.m() as f64 / n as f64;
-    println!("\nsensor field (directed RGG): mean degree = {mean_deg:.1}, asymmetric links = {}",
-        field.edges().filter(|&(u, v)| !field.has_edge(v, u)).count());
+    println!(
+        "\nsensor field (directed RGG): mean degree = {mean_deg:.1}, asymmetric links = {}",
+        field
+            .edges()
+            .filter(|&(u, v)| !field.has_edge(v, u))
+            .count()
+    );
 
     // Algorithm 2 only needs a degree estimate; reuse its config with the
     // empirical mean degree via an equivalent G(n,p) parameterisation.

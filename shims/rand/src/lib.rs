@@ -1,0 +1,357 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *minimal* random-number API it actually uses. The shape
+//! mirrors `rand 0.9` (`random`, `random_bool`, `random_range`, the
+//! `RngCore`/`SeedableRng` split) so a later swap to the real crate is a
+//! one-line `Cargo.toml` change, with two caveats: the convenience
+//! methods live on an extension trait named [`RngExt`] (with [`Rng`] a
+//! blanket alias for "any [`RngCore`]" usable as a generic bound
+//! `R: Rng + ?Sized`), and seeded streams differ from the real crates'
+//! (see [`SeedableRng::seed_from_u64`]), so recorded experiment numbers
+//! would shift under a swap.
+//!
+//! Determinism contract: every method here is a pure function of the RNG
+//! stream, so results are reproducible across runs, platforms and
+//! `--release`/debug builds. Nothing reads OS entropy.
+
+/// Object-safe source of raw randomness: a stream of `u32`/`u64` words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes (little-endian from `next_u64`).
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Marker alias: the generic bound used throughout the workspace
+/// (`fn gnp_directed<R: Rng + ?Sized>(…)`). Blanket-implemented for every
+/// [`RngCore`], so any concrete generator qualifies.
+pub trait Rng: RngCore {}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type, e.g. `[u8; 32]` for ChaCha.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with SplitMix64.
+    ///
+    /// **Stream-compatibility caveat:** the real `rand_core`'s provided
+    /// `seed_from_u64` uses a PCG32 expansion, not SplitMix64, so
+    /// swapping the shims for the real crates changes every seeded
+    /// stream (and with it any recorded experiment numbers), even
+    /// though all call sites compile unchanged.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = (z as u32).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable uniformly "from all representable values" (integers)
+/// or from the unit interval `[0, 1)` (floats) — the `Standard`
+/// distribution, as a plain trait.
+pub trait StandardSample: Sized {
+    /// Draw one value from `rng`.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl StandardSample for $t {
+            #[inline]
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(
+    u8 => next_u32,
+    u16 => next_u32,
+    u32 => next_u32,
+    u64 => next_u64,
+    usize => next_u64,
+    i8 => next_u32,
+    i16 => next_u32,
+    i32 => next_u32,
+    i64 => next_u64,
+    isize => next_u64,
+);
+
+impl StandardSample for u128 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the standard
+    /// `(x >> 11) * 2^-53` construction).
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw a value uniformly from `self`.
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                // Span must be computed in the unsigned type of the same
+                // width: for signed ranges wider than half the domain
+                // (e.g. `-100i8..100`) a signed subtraction wraps negative
+                // and would sign-extend into a bogus near-2^64 bound.
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                let span = (end as $u).wrapping_sub(start as $u) as u64;
+                if span >= <$u>::MAX as u64 {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_int!(
+    u8 => u8,
+    u16 => u16,
+    u32 => u32,
+    u64 => u64,
+    usize => usize,
+    i8 => u8,
+    i16 => u16,
+    i32 => u32,
+    i64 => u64,
+    isize => usize,
+);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        let u = f64::standard_sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range in random_range");
+        let u = f64::standard_sample(rng);
+        start + u * (end - start)
+    }
+}
+
+/// Uniform draw from `[0, bound)` by widening multiply with rejection
+/// (Lemire's method) — unbiased and two instructions in the common case.
+#[inline]
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = u128::from(x) * u128::from(bound);
+        let lo = m as u64;
+        if lo >= bound || lo >= bound.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+pub trait RngExt: RngCore {
+    /// Draw a value of type `T` from the standard distribution
+    /// (`[0, 1)` for floats, all values for integers).
+    #[inline]
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "random_bool called with p = {p}, outside [0, 1]"
+        );
+        f64::standard_sample(self) < p
+    }
+
+    /// Uniform draw from a range, e.g. `rng.random_range(0..n)` or
+    /// `rng.random_range(0.25..=1.0)`.
+    #[inline]
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_range(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 so the stream looks uniform enough for the
+            // statistical checks below.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Counter(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = Counter(2);
+        for _ in 0..10_000 {
+            let x = rng.random_range(10usize..20);
+            assert!((10..20).contains(&x));
+            let y = rng.random_range(0.5f64..=0.75);
+            assert!((0.5..=0.75).contains(&y));
+        }
+    }
+
+    #[test]
+    fn bool_edge_probabilities() {
+        let mut rng = Counter(3);
+        for _ in 0..1_000 {
+            assert!(!rng.random_bool(0.0));
+            assert!(rng.random_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_wider_than_half_domain_stay_in_bounds() {
+        // Regression: the span of `-100i8..100` overflows i8; it must be
+        // computed in u8 before widening, or values escape the range.
+        let mut rng = Counter(6);
+        for _ in 0..5_000 {
+            let x = rng.random_range(-100i8..100);
+            assert!((-100..100).contains(&x), "{x} outside -100..100");
+            let y = rng.random_range(-100i8..=100);
+            assert!((-100..=100).contains(&y), "{y} outside -100..=100");
+            let full = rng.random_range(i8::MIN..=i8::MAX);
+            let _ = full; // full-domain inclusive must not panic/loop
+        }
+        let mut hit_neg = false;
+        let mut hit_pos = false;
+        for _ in 0..1_000 {
+            let x = rng.random_range(-100i8..100);
+            hit_neg |= x < 0;
+            hit_pos |= x >= 0;
+        }
+        assert!(hit_neg && hit_pos, "signed range never crossed zero");
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut rng = Counter(4);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn works_through_mut_ref_and_dyn() {
+        fn take_generic<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = Counter(5);
+        take_generic(&mut rng);
+        let dynrng: &mut dyn RngCore = &mut rng;
+        dynrng.next_u64();
+    }
+}

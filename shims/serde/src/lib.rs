@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Provides the two trait *names* and re-exports the no-op derives from
+//! the `serde_derive` shim, exactly mirroring how the real `serde` crate
+//! surfaces its derive macros. `use serde::{Serialize, Deserialize}`
+//! imports both the traits (type namespace) and the derives (macro
+//! namespace), as with the real crate. The traits are empty: nothing
+//! in-tree performs serialization yet, and the no-op derives generate no
+//! impls, so nothing can silently rely on them.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`. Intentionally empty.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`. Intentionally empty; the
+/// real trait's `'de` lifetime is dropped because no bounds in this
+/// workspace name it.
+pub trait Deserialize {}

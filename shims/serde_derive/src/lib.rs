@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates result types with
+//! `#[derive(Serialize, Deserialize)]` so that swapping in the real serde
+//! later is zero-churn, but nothing in-tree serializes yet. These derives
+//! therefore expand to nothing: the attribute is accepted and recorded in
+//! the source, and no impls are generated. When real serialization lands
+//! (JSON experiment dumps are on the roadmap), replace the `serde` +
+//! `serde_derive` shims with the real crates in the two `[dependencies]`
+//! lines — no source changes required.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` and expand to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` and expand to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -46,6 +46,35 @@ pub use radio_sim as sim;
 pub use radio_stats as stats;
 pub use radio_util as util;
 
+/// Scale knob for the `examples/`: returns `default / s`, clamped to at
+/// least `min`, where `s` is the `ADHOC_RADIO_EXAMPLE_SCALE` environment
+/// variable (default 1, i.e. full size).
+///
+/// The examples double as integration smoke tests
+/// (`tests/examples_smoke.rs` runs all six with `s = 8` and a fixed
+/// seed); this keeps the demo sizes honest for humans while letting the
+/// test suite run them at toy sizes.
+pub fn example_scale(default: usize, min: usize) -> usize {
+    let scale = match std::env::var("ADHOC_RADIO_EXAMPLE_SCALE") {
+        Err(std::env::VarError::NotPresent) => 1,
+        Ok(v) => match v.parse::<usize>() {
+            Ok(s) if s >= 1 => s,
+            _ => {
+                eprintln!(
+                    "warning: ignoring invalid ADHOC_RADIO_EXAMPLE_SCALE={v:?} \
+                     (expected an integer >= 1); running at full scale"
+                );
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("warning: ignoring unreadable ADHOC_RADIO_EXAMPLE_SCALE ({e})");
+            1
+        }
+    };
+    (default / scale).max(min)
+}
+
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use radio_core::broadcast::cr::{run_cr_broadcast, CrBroadcastConfig};

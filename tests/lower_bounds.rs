@@ -31,6 +31,7 @@ fn obs43_energy_floor_shape() {
     let n_dest = 64;
     let net = star_chain(n_dest);
     let bound = obs43_bound(n_dest); // n log n / 2 = 192 for n = 64
+
     // For several q, find the (empirical) rounds needed until every
     // destination is informed in ≥ 9/10 trials, then compute the implied
     // total transmissions ≈ q · 2n · rounds.
@@ -59,6 +60,7 @@ fn obs43_energy_floor_shape() {
 #[test]
 fn thm44_failure_modes() {
     let net = lower_bound_net(6, 40); // n = 64, stars up to 64 leaves, path 28
+
     // Hot: q = 1/2 cannot get one-of-64 isolation in reasonable time.
     let hot = thm44_trial(&net, &TimeInvariant::Fixed(0.5), 20.0, 1);
     assert!(!hot.all_informed, "q = 1/2 should jam S₆");

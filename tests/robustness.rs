@@ -59,7 +59,8 @@ fn mobility_rescues_a_disconnected_field() {
 
     let run_with_sigma = |sigma: f64, seed: u64| -> usize {
         let snapshots = (budget / 20 + 2) as usize;
-        let graphs = mobile_geometric_sequence(n, r, sigma, snapshots, &mut derive_rng(seed, b"resc", 0));
+        let graphs =
+            mobile_geometric_sequence(n, r, sigma, snapshots, &mut derive_rng(seed, b"resc", 0));
         let refs: Vec<&DiGraph> = graphs.iter().collect();
         let mut protocol = EeGossip::new(cfg);
         let mut rng = derive_rng(seed, b"engine", 0);
@@ -88,7 +89,8 @@ fn alg1_tolerates_moderate_crashes() {
     for seed in 0..3u64 {
         let g = gnp_directed(n, p, &mut derive_rng(seed, b"fault-g", 0));
         let cfg = EeBroadcastConfig::for_gnp(n, p);
-        let plan = CrashPlan::random_fraction(n, 0.25, 3, &mut derive_rng(seed, b"plan", 0)).spare(0);
+        let plan =
+            CrashPlan::random_fraction(n, 0.25, 3, &mut derive_rng(seed, b"plan", 0)).spare(0);
         let survivors = plan.survivors();
         let mut protocol = Faulty::new(EeRandomBroadcast::new(n, 0, cfg), plan);
         let mut rng = derive_rng(seed, b"engine", 0);
@@ -117,7 +119,8 @@ fn crashed_nodes_never_transmit_after_their_round() {
     let g = gnp_directed(n, p, &mut derive_rng(9, b"fault-g", 0));
     let cfg = EeBroadcastConfig::for_gnp(n, p);
     let crash_round = 2;
-    let plan = CrashPlan::random_fraction(n, 0.5, crash_round, &mut derive_rng(9, b"plan", 0)).spare(0);
+    let plan =
+        CrashPlan::random_fraction(n, 0.5, crash_round, &mut derive_rng(9, b"plan", 0)).spare(0);
     let crashed: Vec<NodeId> = (0..n as NodeId)
         .filter(|&v| plan.is_crashed(v, crash_round))
         .collect();

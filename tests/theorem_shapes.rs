@@ -90,7 +90,10 @@ fn thm21_alg1_total_energy_scale() {
     let bound = (n as f64).ln() / p;
     let avg = mean(&totals);
     assert!(avg < 4.0 * bound, "avg total {avg} ≫ log n/p = {bound}");
-    assert!(avg < n as f64, "energy should undercut one-message-per-node flooding");
+    assert!(
+        avg < n as f64,
+        "energy should undercut one-message-per-node flooding"
+    );
 }
 
 /// §1.3 comparison: Algorithm 1 matches Elsässer–Gasieniec on time but
@@ -120,7 +123,10 @@ fn alg1_vs_eg_energy_comparison() {
         eg_max = eg_max.max(em);
         assert!(e_done, "trial {i}: EG did not finish");
         // Alg 1 may strand a lone node at this size (finite-n effect).
-        assert!(a_informed >= n - 2, "trial {i}: Alg1 informed {a_informed}/{n}");
+        assert!(
+            a_informed >= n - 2,
+            "trial {i}: Alg1 informed {a_informed}/{n}"
+        );
     }
     assert_eq!(alg1_max, 1);
     assert!(
@@ -168,9 +174,15 @@ fn lemma31_gnp_diameter() {
             diameter_from(&g, 0)
         })
         .into_iter()
-        .filter(|d| d.map(|d| d == predicted || d == predicted + 1).unwrap_or(false))
+        .filter(|d| {
+            d.map(|d| d == predicted || d == predicted + 1)
+                .unwrap_or(false)
+        })
         .count();
-        assert!(hits >= 5, "δ={delta}: only {hits}/6 diameters near {predicted}");
+        assert!(
+            hits >= 5,
+            "δ={delta}: only {hits}/6 diameters near {predicted}"
+        );
     }
 }
 
