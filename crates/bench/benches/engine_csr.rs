@@ -1,0 +1,103 @@
+//! CSR engine vs. adjacency-list engine, head to head.
+//!
+//! Both engines execute the *same* protocol with the same RNG stream and
+//! the same stamped-scratch algorithm; the only difference is adjacency
+//! storage — flat CSR slices (`radio_sim::Engine`) vs. per-node heap
+//! `Vec`s (`radio_sim::run_adjlist`). The workload is a collision storm
+//! on `G(n, p)` with every node transmitting each round, which makes the
+//! neighbor-scatter loop dominate: exactly the memory-layout question the
+//! CSR backend answers. The acceptance bar for the storage refactor is
+//! `engine_csr ≥ 1.3 × engine_adjlist` at `n = 10⁴`; CI's perf gate
+//! tracks `engine_csr` against `BENCH_baseline.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use radio_graph::generate::gnp_directed;
+use radio_graph::{DiGraph, NodeId};
+use radio_sim::engine::run_protocol;
+use radio_sim::{run_adjlist, Action, AdjListGraph, EngineConfig, Protocol};
+use radio_util::derive_rng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+const ROUNDS: u64 = 30;
+
+/// Every node awake and transmitting every round; never completes, so a
+/// run is exactly `ROUNDS` rounds of full-graph scatter.
+struct Storm {
+    n: usize,
+}
+
+impl Protocol for Storm {
+    type Msg = ();
+    fn initially_awake(&self) -> Vec<NodeId> {
+        (0..self.n as NodeId).collect()
+    }
+    fn decide(&mut self, _n: NodeId, _r: u64, _rng: &mut ChaCha8Rng) -> Action {
+        Action::Transmit
+    }
+    fn payload(&self, _n: NodeId, _r: u64) -> Self::Msg {}
+    fn on_receive(
+        &mut self,
+        _n: NodeId,
+        _f: NodeId,
+        _r: u64,
+        _m: &Self::Msg,
+        _rng: &mut ChaCha8Rng,
+    ) {
+    }
+    fn is_complete(&self) -> bool {
+        false
+    }
+    fn informed_count(&self) -> usize {
+        self.n
+    }
+    fn active_count(&self) -> usize {
+        self.n
+    }
+}
+
+fn storm_graph(n: usize) -> DiGraph {
+    let p = 6.0 * (n as f64).ln() / n as f64;
+    gnp_directed(n, p, &mut derive_rng(7, b"csr-bench-g", 0))
+}
+
+fn cfg() -> EngineConfig {
+    EngineConfig::with_max_rounds(ROUNDS)
+}
+
+/// The acceptance-gate size from the storage-refactor issue.
+const N: usize = 10_000;
+
+fn bench_engine_csr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_csr");
+    group.sample_size(10);
+    let g = storm_graph(N);
+    group.throughput(Throughput::Elements(g.m() as u64 * ROUNDS));
+    group.bench_with_input(BenchmarkId::new("gnp", N), &g, |b, g| {
+        b.iter(|| {
+            let mut p = Storm { n: N };
+            let mut rng = derive_rng(1, b"csr-bench", 0);
+            black_box(run_protocol(g, &mut p, cfg(), &mut rng))
+        });
+    });
+    group.finish();
+}
+
+fn bench_engine_adjlist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_adjlist");
+    group.sample_size(10);
+    let g = storm_graph(N);
+    let a = AdjListGraph::from_digraph(&g);
+    group.throughput(Throughput::Elements(g.m() as u64 * ROUNDS));
+    group.bench_with_input(BenchmarkId::new("gnp", N), &a, |b, a| {
+        b.iter(|| {
+            let mut p = Storm { n: N };
+            let mut rng = derive_rng(1, b"csr-bench", 0);
+            black_box(run_adjlist(a, &mut p, cfg(), &mut rng))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_csr, bench_engine_adjlist);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! CI perf gate: diff two `BENCH_*.json` files from the criterion
+//! harness and fail on regression.
+//!
+//! ```sh
+//! cargo run -p radio-bench --bin bench_compare -- \
+//!     BENCH_baseline.json BENCH_pr.json --max-regress 0.30 --only engine
+//! ```
+//!
+//! Compares `mean_s` for every `(group, id)` present in both files
+//! (optionally filtered to groups whose name starts with `--only`'s
+//! prefix) and exits non-zero if any current mean exceeds
+//! `baseline · (1 + max_regress)`. Benches present in only one file are
+//! reported but never fail the gate, so adding or removing benches does
+//! not require touching the baseline in the same commit.
+
+use radio_util::Json;
+use std::process::ExitCode;
+
+struct Entry {
+    key: String,
+    mean_s: f64,
+}
+
+fn load(path: &str) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let benches = json
+        .get("benches")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing \"benches\" array"))?;
+    benches
+        .iter()
+        .map(|b| {
+            let group = b
+                .get("group")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{path}: bench without group"))?;
+            let id = b
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{path}: bench without id"))?;
+            let mean_s = b
+                .get("mean_s")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{path}: bench without mean_s"))?;
+            Ok(Entry {
+                key: format!("{group}/{id}"),
+                mean_s,
+            })
+        })
+        .collect()
+}
+
+fn fmt_ms(secs: f64) -> String {
+    format!("{:.3} ms", secs * 1e3)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut max_regress = 0.30f64;
+    let mut only: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-regress" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_regress = v,
+                None => return die("--max-regress needs a number"),
+            },
+            "--only" => match it.next() {
+                Some(v) => only = Some(v),
+                None => return die("--only needs a group prefix"),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline_path, current_path] = match <[String; 2]>::try_from(paths) {
+        Ok(p) => p,
+        Err(_) => {
+            usage();
+            return die("expected exactly two JSON files");
+        }
+    };
+
+    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => return die(&e),
+    };
+
+    let keep = |key: &str| only.as_deref().is_none_or(|prefix| key.starts_with(prefix));
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    println!(
+        "{:<32} {:>12} {:>12} {:>8}  verdict (gate: +{:.0}%)",
+        "bench",
+        "baseline",
+        "current",
+        "ratio",
+        max_regress * 100.0
+    );
+    for cur in current.iter().filter(|e| keep(&e.key)) {
+        match baseline.iter().find(|b| b.key == cur.key) {
+            Some(base) => {
+                compared += 1;
+                let ratio = cur.mean_s / base.mean_s;
+                let regressed = ratio > 1.0 + max_regress;
+                if regressed {
+                    failures += 1;
+                }
+                println!(
+                    "{:<32} {:>12} {:>12} {:>7.2}x  {}",
+                    cur.key,
+                    fmt_ms(base.mean_s),
+                    fmt_ms(cur.mean_s),
+                    ratio,
+                    if regressed { "REGRESSED" } else { "ok" }
+                );
+            }
+            None => println!(
+                "{:<32} {:>12} {:>12}   new bench (not gated)",
+                cur.key,
+                "—",
+                fmt_ms(cur.mean_s)
+            ),
+        }
+    }
+    for base in baseline.iter().filter(|e| keep(&e.key)) {
+        if !current.iter().any(|c| c.key == base.key) {
+            println!(
+                "{:<32} {:>12} {:>12}   missing from current (not gated)",
+                base.key,
+                fmt_ms(base.mean_s),
+                "—"
+            );
+        }
+    }
+
+    if compared == 0 {
+        return die("no comparable benches between the two files");
+    }
+    if failures > 0 {
+        eprintln!(
+            "error: {failures} bench(es) regressed more than {:.0}%",
+            max_regress * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("all {compared} compared bench(es) within the regression budget");
+    ExitCode::SUCCESS
+}
+
+fn usage() {
+    eprintln!(
+        "usage: bench_compare <baseline.json> <current.json> [--max-regress FRAC] [--only GROUP_PREFIX]\n\
+         Compares criterion-shim JSON results; exits 1 when a shared bench's mean\n\
+         regresses beyond the budget (default 0.30 = +30%)."
+    );
+}
+
+fn die(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}

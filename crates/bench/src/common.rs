@@ -91,6 +91,33 @@ pub fn pm(stats: &radio_stats::SummaryStats) -> String {
     format!("{:.1} ± {:.1}", stats.mean, stats.ci95_half_width())
 }
 
+/// Lift a broadcast outcome into a sweep trial row — thin alias for
+/// [`radio_core::broadcast::BroadcastOutcome::to_trial`].
+pub fn broadcast_trial(out: &radio_core::broadcast::BroadcastOutcome) -> radio_sim::TrialResult {
+    out.to_trial()
+}
+
+/// Mean-informed fraction of a sweep cell.
+pub fn informed_frac(cell: &radio_sim::CellSummary) -> f64 {
+    cell.mean_informed / cell.cell.n as f64
+}
+
+/// Look up an extra's stats by key on a sweep cell.
+pub fn cell_extra<'a>(
+    cell: &'a radio_sim::CellSummary,
+    key: &str,
+) -> Option<&'a radio_stats::SummaryStats> {
+    cell.extras.iter().find(|(k, _)| k == key).map(|(_, s)| s)
+}
+
+/// Note appended to reports whose sweep JSON landed under `results/`.
+pub fn sweep_note(path: &std::path::Path) -> String {
+    format!(
+        "Machine-readable sweep report: `{}` (see the sweep API in `radio-sim`).",
+        path.display()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,12 +1,17 @@
 //! **E1 — Theorem 2.1.** Algorithm 1 on directed `G(n,p)`:
 //! time `O(log n)`, ≤ 1 transmission per node, total `O(log n / p)`.
+//!
+//! Ported to the `radio-sim` sweep API: the row list becomes sweep
+//! cells, the trial loop becomes the sweep's rayon fan-out, and the
+//! aggregates land both in this markdown table and in
+//! `results/sweep_e1.json`.
 
-use crate::{common::pm, Ctx, Report};
+use crate::common::{broadcast_trial, cell_extra, informed_frac, pm, sweep_note};
+use crate::{Ctx, Report};
 use radio_core::broadcast::ee_random::{run_ee_broadcast, EeBroadcastConfig};
-use radio_graph::generate::gnp_directed;
-use radio_sim::parallel_trials;
-use radio_stats::SummaryStats;
-use radio_util::{derive_rng, TextTable};
+use radio_graph::GraphFamily;
+use radio_sim::{Sweep, SweepCell};
+use radio_util::TextTable;
 
 struct Row {
     n: usize,
@@ -57,6 +62,20 @@ pub fn run(ctx: &Ctx) -> Report {
         });
     }
 
+    let mut sweep = Sweep::new("e1", ctx.seed, trials);
+    for row in &rows {
+        sweep.push(SweepCell::new(
+            "ee_broadcast",
+            GraphFamily::GnpDirected,
+            row.n,
+            row.p,
+        ));
+    }
+    let sweep_report = sweep.run(|cell, graph, seed| {
+        let cfg = EeBroadcastConfig::for_gnp(cell.n, cell.p);
+        broadcast_trial(&run_ee_broadcast(graph, 0, &cfg, seed))
+    });
+
     let mut table = TextTable::new(&[
         "n",
         "regime",
@@ -71,44 +90,26 @@ pub fn run(ctx: &Ctx) -> Report {
         "msgs·p/ln n",
     ]);
 
-    for row in &rows {
+    for (row, cell) in rows.iter().zip(&sweep_report.cells) {
         let cfg = EeBroadcastConfig::for_gnp(row.n, row.p);
-        let outs = parallel_trials(trials, ctx.seed ^ row.n as u64, |_, seed| {
-            let g = gnp_directed(row.n, row.p, &mut derive_rng(seed, b"e1-g", 0));
-            let out = run_ee_broadcast(&g, 0, &cfg, seed);
-            (
-                out.all_informed,
-                out.broadcast_time,
-                out.max_msgs_per_node(),
-                out.metrics.total_transmissions(),
-                out.informed,
-            )
-        });
-        let successes = outs.iter().filter(|o| o.0).count();
-        let times: Vec<f64> = outs.iter().filter_map(|o| o.1.map(|t| t as f64)).collect();
-        let max_msg = outs.iter().map(|o| o.2).max().unwrap_or(0);
-        let totals: Vec<f64> = outs.iter().map(|o| o.3 as f64).collect();
-        let informed_frac: Vec<f64> = outs.iter().map(|o| o.4 as f64 / row.n as f64).collect();
-        let total_stats = SummaryStats::from_slice(&totals);
         let log2n = (row.n as f64).log2();
-        let (time_str, ratio_str) = if times.is_empty() {
-            ("—".to_string(), "—".to_string())
-        } else {
-            let t_stats = SummaryStats::from_slice(&times);
-            (pm(&t_stats), format!("{:.2}", t_stats.mean / log2n))
+        let (time_str, ratio_str) = match cell_extra(cell, "bcast_time") {
+            Some(t_stats) => (pm(t_stats), format!("{:.2}", t_stats.mean / log2n)),
+            None => ("—".to_string(), "—".to_string()),
         };
+        let total_mean = cell.total_transmissions.map_or(0.0, |s| s.mean);
         table.row(&[
             row.n.to_string(),
             row.regime.to_string(),
             format!("{:.0}", row.n as f64 * row.p),
             cfg.params.t.to_string(),
-            format!("{successes}/{trials}"),
-            format!("{:.5}", radio_stats::mean(&informed_frac)),
+            format!("{}/{}", cell.successes, cell.trials),
+            format!("{:.5}", informed_frac(cell)),
             time_str,
             ratio_str,
-            max_msg.to_string(),
-            format!("{:.0}", total_stats.mean),
-            format!("{:.2}", total_stats.mean * row.p / (row.n as f64).ln()),
+            cell.max_transmissions_per_node.to_string(),
+            format!("{total_mean:.0}"),
+            format!("{:.2}", total_mean * row.p / (row.n as f64).ln()),
         ]);
     }
 
@@ -120,5 +121,11 @@ pub fn run(ctx: &Ctx) -> Report {
         trials
     ));
     report.table(&table);
+    match sweep_report.write_json(&ctx.out_dir) {
+        Ok(path) => {
+            report.para(sweep_note(&path));
+        }
+        Err(e) => eprintln!("warning: cannot write e1 sweep JSON: {e}"),
+    }
     report
 }

@@ -1,15 +1,58 @@
 //! **E5 — Lemma 3.1.** The diameter of directed `G(n,p)` is
 //! `⌈log n / log d⌉` w.h.p. for `p > δ log n / n`.
+//!
+//! Ported to the `radio-sim` sweep API. This experiment runs no
+//! protocol — the runner just measures each sampled graph — which
+//! exercises the sweep's raw-results path ([`Sweep::collect`]): the
+//! histogram needs per-trial values, the JSON gets the aggregates.
 
+use crate::common::sweep_note;
 use crate::{Ctx, Report};
 use radio_graph::analysis::diameter_from;
-use radio_graph::generate::gnp_directed;
-use radio_sim::parallel_trials;
-use radio_util::{derive_rng, TextTable};
+use radio_graph::GraphFamily;
+use radio_sim::{Sweep, SweepCell, TrialResult};
+use radio_util::TextTable;
 
 pub fn run(ctx: &Ctx) -> Report {
     let mut report = Report::new("e5", "E5 — Lemma 3.1: diameter of G(n,p) = ⌈log n/log d⌉");
     let trials = ctx.trials(25, 10);
+
+    let grid = [
+        (1024usize, 16.0),
+        (4096, 16.0),
+        (4096, 64.0),
+        (16384, 26.0),
+        (16384, 128.0),
+        (65536, 41.0),
+    ];
+    let mut sweep = Sweep::new("e5", ctx.seed, trials);
+    for &(n, d_target) in &grid {
+        sweep.push(SweepCell::new(
+            "diameter",
+            GraphFamily::GnpDirected,
+            n,
+            d_target / n as f64,
+        ));
+    }
+
+    let raw = sweep.collect(|_, graph, _| {
+        let diam = diameter_from(graph, 0);
+        let mut trial = TrialResult {
+            completed: true,
+            success: diam.is_some(),
+            rounds: 0,
+            hit_round_cap: false,
+            total_transmissions: 0,
+            max_transmissions_per_node: 0,
+            informed: 0,
+            extras: Vec::new(),
+        };
+        if let Some(d) = diam {
+            trial = trial.extra("diameter", f64::from(d));
+        }
+        trial
+    });
+    let sweep_report = sweep.report(&raw);
 
     let mut table = TextTable::new(&[
         "n",
@@ -20,35 +63,23 @@ pub fn run(ctx: &Ctx) -> Report {
         "hit rate (≤ +1)",
     ]);
 
-    for (n, d_target) in [
-        (1024usize, 16.0),
-        (4096, 16.0),
-        (4096, 64.0),
-        (16384, 26.0),
-        (16384, 128.0),
-        (65536, 41.0),
-    ] {
-        let p = d_target / n as f64;
+    for (&(n, d_target), cell_results) in grid.iter().zip(&raw) {
         let predicted = ((n as f64).log2() / d_target.log2()).ceil() as u32;
-        let diams = parallel_trials(
-            trials,
-            ctx.seed ^ (n as u64 + d_target as u64),
-            |_, seed| {
-                let g = gnp_directed(n, p, &mut derive_rng(seed, b"e5-g", 0));
-                diameter_from(&g, 0)
-            },
-        );
+        let diams: Vec<u32> = cell_results
+            .trials
+            .iter()
+            .flat_map(|t| t.extras.iter())
+            .filter(|(k, _)| k == "diameter")
+            .map(|&(_, v)| v as u32)
+            .collect();
         let mut hist = std::collections::BTreeMap::new();
-        for d in diams.iter().flatten() {
+        for d in &diams {
             *hist.entry(*d).or_insert(0usize) += 1;
         }
-        let exact = diams.iter().filter(|x| **x == Some(predicted)).count();
+        let exact = diams.iter().filter(|&&d| d == predicted).count();
         let plus_one = diams
             .iter()
-            .filter(|x| {
-                x.map(|v| v == predicted || v == predicted + 1)
-                    .unwrap_or(false)
-            })
+            .filter(|&&d| d == predicted || d == predicted + 1)
             .count();
         let hist_str = hist
             .iter()
@@ -75,5 +106,11 @@ pub fn run(ctx: &Ctx) -> Report {
          is unambiguous."
     ));
     report.table(&table);
+    match sweep_report.write_json(&ctx.out_dir) {
+        Ok(path) => {
+            report.para(sweep_note(&path));
+        }
+        Err(e) => eprintln!("warning: cannot write e5 sweep JSON: {e}"),
+    }
     report
 }

@@ -2,7 +2,14 @@
 //! table, measured: Algorithm 1 vs Elsässer–Gasieniec on `G(n,p)`;
 //! Algorithm 3 vs Czumaj–Rytter vs Decay on a known-`D` network; gossip
 //! vs the naive always-transmit strawman.
+//!
+//! Ported to the `radio-sim` sweep API as two sweeps — one over random
+//! networks (`algorithm × (n, p)` grid cells), one over the caterpillar
+//! general network — with the algorithm label dispatched inside the
+//! runner. JSON lands in `results/sweep_e13_random.json` and
+//! `results/sweep_e13_general.json`.
 
+use crate::common::{broadcast_trial, cell_extra, sweep_note};
 use crate::{Ctx, Report};
 use radio_core::broadcast::cr::{run_cr_broadcast, CrBroadcastConfig};
 use radio_core::broadcast::decay::{run_decay_broadcast, DecayConfig};
@@ -11,19 +18,43 @@ use radio_core::broadcast::ee_random::{run_ee_broadcast, EeBroadcastConfig};
 use radio_core::broadcast::eg::{run_eg_broadcast, EgBroadcastConfig};
 use radio_core::params::lambda;
 use radio_graph::analysis::diameter_from;
-use radio_graph::generate::{caterpillar, gnp_directed};
-use radio_sim::parallel_trials;
-use radio_stats::SummaryStats;
-use radio_util::{derive_rng, TextTable};
+use radio_graph::generate::caterpillar;
+use radio_graph::GraphFamily;
+use radio_sim::{Sweep, SweepCell};
+use radio_util::TextTable;
 
-/// Per-seed runner: (all_informed, time, mean msgs/node, max msgs/node).
-type AlgRunner<'a> = Box<dyn Fn(u64) -> (bool, Option<u64>, f64, u32) + Sync + 'a>;
+const CATERPILLAR_LEGS: usize = 20;
 
 pub fn run(ctx: &Ctx) -> Report {
     let mut report = Report::new("e13", "E13 — §1.3 comparison tables");
     let trials = ctx.trials(12, 5);
 
     // --- Random networks: Algorithm 1 vs Elsässer–Gasieniec --------------
+    let grid = [(4096usize, 48.0), (16384, 36.0)];
+    let mut sw_random = Sweep::new("e13_random", ctx.seed, trials);
+    for &(n, d_target) in &grid {
+        for alg in ["ee_broadcast", "eg_broadcast"] {
+            sw_random.push(SweepCell::new(
+                alg,
+                GraphFamily::GnpDirected,
+                n,
+                d_target / n as f64,
+            ));
+        }
+    }
+    let random_report = sw_random.run(|cell, graph, seed| {
+        let out = match cell.algorithm.as_str() {
+            "ee_broadcast" => {
+                run_ee_broadcast(graph, 0, &EeBroadcastConfig::for_gnp(cell.n, cell.p), seed)
+            }
+            "eg_broadcast" => {
+                run_eg_broadcast(graph, 0, &EgBroadcastConfig::for_gnp(cell.n, cell.p), seed)
+            }
+            other => unreachable!("unknown algorithm {other}"),
+        };
+        broadcast_trial(&out)
+    });
+
     let mut t1 = TextTable::new(&[
         "n",
         "d",
@@ -34,51 +65,25 @@ pub fn run(ctx: &Ctx) -> Report {
         "max msgs/node",
         "total msgs",
     ]);
-    for (n, d_target) in [(4096usize, 48.0), (16384, 36.0)] {
-        let p = d_target / n as f64;
-        let a_cfg = EeBroadcastConfig::for_gnp(n, p);
-        let e_cfg = EgBroadcastConfig::for_gnp(n, p);
-        let outs = parallel_trials(trials, ctx.seed ^ n as u64, |_, seed| {
-            let g = gnp_directed(n, p, &mut derive_rng(seed, b"e13-g", 0));
-            let a = run_ee_broadcast(&g, 0, &a_cfg, seed);
-            let e = run_eg_broadcast(&g, 0, &e_cfg, seed);
-            (
-                (
-                    a.all_informed,
-                    a.broadcast_time,
-                    a.max_msgs_per_node(),
-                    a.metrics.total_transmissions(),
-                ),
-                (
-                    e.all_informed,
-                    e.broadcast_time,
-                    e.max_msgs_per_node(),
-                    e.metrics.total_transmissions(),
-                ),
-            )
-        });
-        for (name, sel) in [("Alg 1 (paper)", 0usize), ("Elsässer–Gasieniec", 1)] {
-            let rows: Vec<(bool, Option<u64>, u32, u64)> = outs
-                .iter()
-                .map(|(a, e)| if sel == 0 { *a } else { *e })
-                .collect();
-            let succ = rows.iter().filter(|r| r.0).count();
-            let times: Vec<f64> = rows.iter().filter_map(|r| r.1.map(|t| t as f64)).collect();
-            let max_msgs = rows.iter().map(|r| r.2).max().unwrap_or(0);
-            let totals: Vec<f64> = rows.iter().map(|r| r.3 as f64).collect();
-            let ts = SummaryStats::from_slice(&times);
-            let tot = SummaryStats::from_slice(&totals);
-            t1.row(&[
-                n.to_string(),
-                format!("{d_target:.0}"),
-                e_cfg.d_hat().to_string(),
-                name.to_string(),
-                format!("{succ}/{trials}"),
-                format!("{:.0}", ts.mean),
-                max_msgs.to_string(),
-                format!("{:.0}", tot.mean),
-            ]);
-        }
+    for cell in &random_report.cells {
+        let (n, p) = (cell.cell.n, cell.cell.p);
+        let name = match cell.cell.algorithm.as_str() {
+            "ee_broadcast" => "Alg 1 (paper)",
+            _ => "Elsässer–Gasieniec",
+        };
+        t1.row(&[
+            n.to_string(),
+            format!("{:.0}", n as f64 * p),
+            EgBroadcastConfig::for_gnp(n, p).d_hat().to_string(),
+            name.to_string(),
+            format!("{}/{}", cell.successes, cell.trials),
+            format!(
+                "{:.0}",
+                cell_extra(cell, "bcast_time").map_or(0.0, |s| s.mean)
+            ),
+            cell.max_transmissions_per_node.to_string(),
+            format!("{:.0}", cell.total_transmissions.map_or(0.0, |s| s.mean)),
+        ]);
     }
     report.para(
         "Random networks (both algorithms know n and p). Paper claim: same O(log n) \
@@ -88,10 +93,43 @@ pub fn run(ctx: &Ctx) -> Report {
     report.table(&t1);
 
     // --- General networks: Alg 3 vs CR vs Decay --------------------------
-    let g = caterpillar(96, 20); // n = 2016, D = 97
+    // The caterpillar is deterministic, so every trial sees the same
+    // graph; its diameter is recomputed per trial inside the runner (a
+    // 2k-node BFS — negligible next to the broadcast run).
+    let g = caterpillar(96, CATERPILLAR_LEGS); // n = 2016, D = 97
     let n = g.n();
     let d = diameter_from(&g, 0).expect("connected");
     let lam = lambda(n, d);
+
+    let mut sw_general = Sweep::new("e13_general", ctx.seed ^ 0x13, trials);
+    for alg in ["alg3_alpha", "cr_alpha_stop", "decay"] {
+        sw_general.push(SweepCell::new(
+            alg,
+            GraphFamily::Caterpillar {
+                legs: CATERPILLAR_LEGS,
+            },
+            n,
+            0.0,
+        ));
+    }
+    let general_report = sw_general.run(|cell, graph, seed| {
+        let n = graph.n();
+        let d = diameter_from(graph, 0).expect("caterpillar is connected");
+        let out = match cell.algorithm.as_str() {
+            "alg3_alpha" => {
+                run_general_broadcast(graph, 0, &GeneralBroadcastConfig::new(n, d), seed)
+            }
+            "cr_alpha_stop" => run_cr_broadcast(graph, 0, &CrBroadcastConfig::new(n, d), seed),
+            "decay" => run_decay_broadcast(graph, 0, &DecayConfig::new(n, d), seed),
+            other => unreachable!("unknown algorithm {other}"),
+        };
+        let mean_msgs = out.mean_msgs_per_node();
+        let max_msgs = out.max_msgs_per_node();
+        broadcast_trial(&out)
+            .extra("mean_msgs_per_node", mean_msgs)
+            .extra("max_msgs_per_node", f64::from(max_msgs))
+    });
+
     let mut t2 = TextTable::new(&[
         "algorithm",
         "success",
@@ -100,64 +138,28 @@ pub fn run(ctx: &Ctx) -> Report {
         "max msgs/node",
         "msgs vs Alg3",
     ]);
-    let mut base_msgs = 0.0;
-    let algs: Vec<(&str, AlgRunner<'_>)> = vec![
-        (
-            "Alg 3 (α)",
-            Box::new(|seed| {
-                let o = run_general_broadcast(&g, 0, &GeneralBroadcastConfig::new(n, d), seed);
-                (
-                    o.all_informed,
-                    o.broadcast_time,
-                    o.mean_msgs_per_node(),
-                    o.max_msgs_per_node(),
-                )
-            }),
-        ),
-        (
-            "CR (α') + stop",
-            Box::new(|seed| {
-                let o = run_cr_broadcast(&g, 0, &CrBroadcastConfig::new(n, d), seed);
-                (
-                    o.all_informed,
-                    o.broadcast_time,
-                    o.mean_msgs_per_node(),
-                    o.max_msgs_per_node(),
-                )
-            }),
-        ),
-        (
-            "Decay",
-            Box::new(|seed| {
-                let o = run_decay_broadcast(&g, 0, &DecayConfig::new(n, d), seed);
-                (
-                    o.all_informed,
-                    o.broadcast_time,
-                    o.mean_msgs_per_node(),
-                    o.max_msgs_per_node(),
-                )
-            }),
-        ),
-    ];
-    for (name, runner) in &algs {
-        let outs = parallel_trials(trials, ctx.seed ^ name.len() as u64, |_, seed| runner(seed));
-        let succ = outs.iter().filter(|o| o.0).count();
-        let times: Vec<f64> = outs.iter().filter_map(|o| o.1.map(|t| t as f64)).collect();
-        let msgs: Vec<f64> = outs.iter().map(|o| o.2).collect();
-        let maxs: Vec<f64> = outs.iter().map(|o| o.3 as f64).collect();
-        let ts = SummaryStats::from_slice(&times);
-        let ms = SummaryStats::from_slice(&msgs);
-        let mx = SummaryStats::from_slice(&maxs);
-        if base_msgs == 0.0 {
-            base_msgs = ms.mean;
-        }
+    let base_msgs =
+        cell_extra(&general_report.cells[0], "mean_msgs_per_node").map_or(1.0, |s| s.mean);
+    for cell in &general_report.cells {
+        let name = match cell.cell.algorithm.as_str() {
+            "alg3_alpha" => "Alg 3 (α)",
+            "cr_alpha_stop" => "CR (α') + stop",
+            _ => "Decay",
+        };
+        let mean_msgs = cell_extra(cell, "mean_msgs_per_node").map_or(0.0, |s| s.mean);
         t2.row(&[
             name.to_string(),
-            format!("{succ}/{trials}"),
-            format!("{:.0}", ts.mean),
-            format!("{:.1}", ms.mean),
-            format!("{:.0}", mx.mean),
-            format!("{:.1}×", ms.mean / base_msgs),
+            format!("{}/{}", cell.successes, cell.trials),
+            format!(
+                "{:.0}",
+                cell_extra(cell, "bcast_time").map_or(0.0, |s| s.mean)
+            ),
+            format!("{mean_msgs:.1}"),
+            format!(
+                "{:.0}",
+                cell_extra(cell, "max_msgs_per_node").map_or(0.0, |s| s.mean)
+            ),
+            format!("{:.1}×", mean_msgs / base_msgs),
         ]);
     }
     report.para(format!(
@@ -166,5 +168,14 @@ pub fn run(ctx: &Ctx) -> Report {
          Decay pays Θ(D)-scale energy."
     ));
     report.table(&t2);
+
+    for sweep_report in [&random_report, &general_report] {
+        match sweep_report.write_json(&ctx.out_dir) {
+            Ok(path) => {
+                report.para(sweep_note(&path));
+            }
+            Err(e) => eprintln!("warning: cannot write e13 sweep JSON: {e}"),
+        }
+    }
     report
 }

@@ -47,6 +47,9 @@ pub struct BroadcastOutcome {
     /// Rounds actually executed (= `broadcast_time` under early stopping;
     /// the full schedule length under energy-faithful accounting).
     pub rounds_executed: u64,
+    /// The engine cut the run off at its round cap while the protocol was
+    /// still incomplete (see [`radio_sim::RunResult::hit_round_cap`]).
+    pub hit_round_cap: bool,
     /// Energy accounting (per-node and total transmission counts).
     pub metrics: Metrics,
     /// Per-round trace when requested.
@@ -67,9 +70,32 @@ impl BroadcastOutcome {
             all_informed: informed == n,
             broadcast_time,
             rounds_executed: run.rounds,
+            hit_round_cap: run.hit_round_cap,
             metrics: run.metrics,
             trace: run.trace,
         }
+    }
+
+    /// Lift this outcome into a sweep [`radio_sim::TrialResult`]:
+    /// success = every node informed, with `bcast_time` riding along as
+    /// an extra when the broadcast finished (the paper's time metric
+    /// conditions on success). The single source of truth for the
+    /// mapping — experiment harnesses and tests share it.
+    pub fn to_trial(&self) -> radio_sim::TrialResult {
+        let mut t = radio_sim::TrialResult {
+            completed: self.all_informed,
+            success: self.all_informed,
+            rounds: self.rounds_executed,
+            hit_round_cap: self.hit_round_cap,
+            total_transmissions: self.metrics.total_transmissions(),
+            max_transmissions_per_node: self.max_msgs_per_node(),
+            informed: self.informed,
+            extras: Vec::new(),
+        };
+        if let Some(bt) = self.broadcast_time {
+            t = t.extra("bcast_time", bt as f64);
+        }
+        t
     }
 
     /// Transmissions per node, averaged.

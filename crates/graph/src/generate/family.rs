@@ -1,0 +1,136 @@
+//! Declarative graph families for parameter sweeps.
+//!
+//! A sweep grid names its topology as a [`GraphFamily`] value plus the
+//! shared `(n, p)` axes; [`GraphFamily::generate`] turns one grid cell and
+//! one RNG stream into a concrete [`DiGraph`]. The meaning of `p` is
+//! family-specific (edge probability, connection radius, …) and documented
+//! per variant; deterministic families ignore it.
+
+use crate::generate::{caterpillar, classic, geometric, gnp, structured};
+use crate::DiGraph;
+use rand::Rng;
+
+/// A named graph topology family, parameterised by the sweep's `(n, p)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphFamily {
+    /// Directed `G(n, p)`; `p` = independent edge probability.
+    GnpDirected,
+    /// Undirected `G(n, p)` (both directions per pair); `p` = pair
+    /// probability.
+    GnpUndirected,
+    /// Random geometric (unit-disk) graph; `p` = connection radius.
+    Geometric,
+    /// Random `d`-out-regular digraph; `p · n` rounded gives `d`.
+    RandomOutRegular,
+    /// Directed path `0 → 1 → … → n−1`; ignores `p`.
+    Path,
+    /// Star with centre `0` (bidirectional spokes); ignores `p`.
+    Star,
+    /// Caterpillar: a spine path with `legs` leaves per spine node;
+    /// `n` must be an exact multiple of `legs + 1` (the generated graph
+    /// always has exactly `n` nodes — a silent shortfall would skew
+    /// every per-`n` sweep statistic); ignores `p`.
+    Caterpillar {
+        /// Leaves per spine node.
+        legs: usize,
+    },
+}
+
+impl GraphFamily {
+    /// Stable label used in sweep reports and JSON output.
+    pub fn label(&self) -> String {
+        match self {
+            GraphFamily::GnpDirected => "gnp_directed".to_string(),
+            GraphFamily::GnpUndirected => "gnp_undirected".to_string(),
+            GraphFamily::Geometric => "geometric".to_string(),
+            GraphFamily::RandomOutRegular => "random_out_regular".to_string(),
+            GraphFamily::Path => "path".to_string(),
+            GraphFamily::Star => "star".to_string(),
+            GraphFamily::Caterpillar { legs } => format!("caterpillar(legs={legs})"),
+        }
+    }
+
+    /// Build one sample of the family at `(n, p)` from `rng`.
+    ///
+    /// Deterministic families consume no randomness, so results stay a
+    /// pure function of `(family, n, p, seed)` either way.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, p: f64, rng: &mut R) -> DiGraph {
+        match self {
+            GraphFamily::GnpDirected => gnp::gnp_directed(n, p, rng),
+            GraphFamily::GnpUndirected => gnp::gnp_undirected(n, p, rng),
+            GraphFamily::Geometric => geometric::random_geometric(n, p, rng).0,
+            GraphFamily::RandomOutRegular => {
+                let d = (p * n as f64).round().max(0.0) as usize;
+                structured::random_out_regular(n, d.min(n.saturating_sub(1)), rng)
+            }
+            GraphFamily::Path => classic::path(n),
+            GraphFamily::Star => classic::star(n),
+            GraphFamily::Caterpillar { legs } => {
+                assert!(
+                    n > 0 && n.is_multiple_of(legs + 1),
+                    "caterpillar(legs={legs}) needs n divisible by {}, got n = {n}",
+                    legs + 1
+                );
+                caterpillar(n / (legs + 1), *legs)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_util::derive_rng;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(GraphFamily::GnpDirected.label(), "gnp_directed");
+        assert_eq!(
+            GraphFamily::Caterpillar { legs: 3 }.label(),
+            "caterpillar(legs=3)"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for fam in [
+            GraphFamily::GnpDirected,
+            GraphFamily::GnpUndirected,
+            GraphFamily::Geometric,
+            GraphFamily::RandomOutRegular,
+        ] {
+            let a = fam.generate(64, 0.1, &mut derive_rng(5, b"fam", 0));
+            let b = fam.generate(64, 0.1, &mut derive_rng(5, b"fam", 0));
+            assert_eq!(a, b, "{}", fam.label());
+            assert_eq!(a.n(), 64);
+        }
+    }
+
+    #[test]
+    fn deterministic_families_ignore_p() {
+        let mut rng = derive_rng(6, b"fam", 0);
+        let a = GraphFamily::Path.generate(10, 0.1, &mut rng);
+        let b = GraphFamily::Path.generate(10, 0.9, &mut rng);
+        assert_eq!(a, b);
+        assert_eq!(a.m(), 2 * 9, "paths are bidirectional");
+        let s = GraphFamily::Star.generate(7, 0.0, &mut rng);
+        assert_eq!(s.n(), 7);
+    }
+
+    #[test]
+    fn caterpillar_generates_exactly_n_nodes() {
+        let g = GraphFamily::Caterpillar { legs: 20 }.generate(
+            2016,
+            0.0,
+            &mut derive_rng(7, b"fam", 0),
+        );
+        assert_eq!(g.n(), 2016); // 96 spine nodes × 21
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn caterpillar_rejects_indivisible_n() {
+        let _ =
+            GraphFamily::Caterpillar { legs: 20 }.generate(100, 0.0, &mut derive_rng(8, b"fam", 0));
+    }
+}

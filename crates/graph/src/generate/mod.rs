@@ -15,12 +15,14 @@
 //!   devices can vary").
 
 pub mod classic;
+pub mod family;
 pub mod geometric;
 pub mod gnp;
 pub mod lower_bound;
 pub mod structured;
 
 pub use classic::{binary_tree, caterpillar, complete, cycle, grid2d, path, star};
+pub use family::GraphFamily;
 pub use geometric::{
     mobile_geometric_sequence, random_geometric, random_geometric_directed, GeoParams,
 };

@@ -21,10 +21,13 @@
 pub mod analysis;
 pub mod builder;
 pub mod components;
+pub mod csr;
 pub mod generate;
 
 pub use builder::GraphBuilder;
 pub use components::{induced_subgraph, largest_scc, strongly_connected_components, Subgraph};
+pub use csr::Csr;
+pub use generate::GraphFamily;
 
 /// Node identifier. `u32` keeps adjacency arrays compact (the perf guides'
 /// "smaller integers" advice); 4 × 10⁹ nodes is far beyond any simulation
@@ -37,14 +40,10 @@ pub type NodeId = u32;
 /// cost but rarely needed (the engine borrows it).
 #[derive(Clone, PartialEq, Eq)]
 pub struct DiGraph {
-    /// `out_offsets[u]..out_offsets[u+1]` indexes `out_targets`.
-    out_offsets: Vec<usize>,
-    /// Concatenated, per-source-sorted out-neighbour lists.
-    out_targets: Vec<NodeId>,
-    /// `in_offsets[v]..in_offsets[v+1]` indexes `in_sources`.
-    in_offsets: Vec<usize>,
-    /// Concatenated, per-target-sorted in-neighbour lists.
-    in_sources: Vec<NodeId>,
+    /// Out-adjacency: `out.row(u)` = nodes that hear `u`.
+    out: Csr,
+    /// In-adjacency: `inn.row(v)` = nodes that `v` hears.
+    inn: Csr,
 }
 
 impl std::fmt::Debug for DiGraph {
@@ -71,82 +70,62 @@ impl DiGraph {
     }
 
     /// Internal: assemble from pre-validated, sorted, deduped edge list.
+    /// The in-view is the transpose of the out-view; the counting sort in
+    /// [`Csr::transpose`] keeps sources sorted within each bucket because
+    /// the edge list is sorted by `(u, v)`.
     pub(crate) fn from_sorted_unique_edges(n: usize, edges: Vec<(NodeId, NodeId)>) -> Self {
-        let m = edges.len();
-        let mut out_offsets = vec![0usize; n + 1];
-        for &(u, _) in &edges {
-            out_offsets[u as usize + 1] += 1;
-        }
-        for i in 0..n {
-            out_offsets[i + 1] += out_offsets[i];
-        }
-        let mut out_targets = vec![0 as NodeId; m];
-        {
-            let mut cursor = out_offsets.clone();
-            for &(u, v) in &edges {
-                out_targets[cursor[u as usize]] = v;
-                cursor[u as usize] += 1;
-            }
-        }
-        // In-adjacency via counting sort on targets; sources end up sorted
-        // within each bucket because the edge list is sorted by (u, v).
-        let mut in_offsets = vec![0usize; n + 1];
-        for &(_, v) in &edges {
-            in_offsets[v as usize + 1] += 1;
-        }
-        for i in 0..n {
-            in_offsets[i + 1] += in_offsets[i];
-        }
-        let mut in_sources = vec![0 as NodeId; m];
-        {
-            let mut cursor = in_offsets.clone();
-            for &(u, v) in &edges {
-                in_sources[cursor[v as usize]] = u;
-                cursor[v as usize] += 1;
-            }
-        }
-        DiGraph {
-            out_offsets,
-            out_targets,
-            in_offsets,
-            in_sources,
-        }
+        let out = Csr::from_sorted_pairs(n, edges.into_iter());
+        let inn = out.transpose();
+        DiGraph { out, inn }
     }
 
     /// Number of nodes.
     #[inline]
     pub fn n(&self) -> usize {
-        self.out_offsets.len() - 1
+        self.out.n()
     }
 
     /// Number of directed edges.
     #[inline]
     pub fn m(&self) -> usize {
-        self.out_targets.len()
+        self.out.nnz()
+    }
+
+    /// The out-adjacency CSR view (`row(u)` = nodes that hear `u`). Hot
+    /// loops borrow this once and index its raw arrays directly.
+    #[inline]
+    pub fn out_csr(&self) -> &Csr {
+        &self.out
+    }
+
+    /// The in-adjacency CSR view (`row(v)` = nodes that `v` hears).
+    #[inline]
+    pub fn in_csr(&self) -> &Csr {
+        &self.inn
     }
 
     /// Nodes whose radios can hear `u` (sorted).
     #[inline]
     pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
-        &self.out_targets[self.out_offsets[u as usize]..self.out_offsets[u as usize + 1]]
+        self.out.row(u)
     }
 
     /// Nodes that `v` can hear (sorted).
     #[inline]
     pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.in_sources[self.in_offsets[v as usize]..self.in_offsets[v as usize + 1]]
+        self.inn.row(v)
     }
 
     /// Out-degree of `u`.
     #[inline]
     pub fn out_degree(&self, u: NodeId) -> usize {
-        self.out_offsets[u as usize + 1] - self.out_offsets[u as usize]
+        self.out.degree(u)
     }
 
     /// In-degree of `v`.
     #[inline]
     pub fn in_degree(&self, v: NodeId) -> usize {
-        self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]
+        self.inn.degree(v)
     }
 
     /// Edge membership test (binary search on the sorted out-list).
@@ -157,10 +136,8 @@ impl DiGraph {
     /// The transpose graph (every edge reversed).
     pub fn reverse(&self) -> DiGraph {
         DiGraph {
-            out_offsets: self.in_offsets.clone(),
-            out_targets: self.in_sources.clone(),
-            in_offsets: self.out_offsets.clone(),
-            in_sources: self.out_targets.clone(),
+            out: self.inn.clone(),
+            inn: self.out.clone(),
         }
     }
 
@@ -245,6 +222,18 @@ mod tests {
         assert_eq!(g.n(), 5);
         assert_eq!(g.m(), 0);
         assert!(g.edges().next().is_none());
+    }
+
+    #[test]
+    fn csr_views_match_neighbor_accessors() {
+        let g = diamond();
+        for u in 0..g.n() as NodeId {
+            assert_eq!(g.out_csr().row(u), g.out_neighbors(u));
+            assert_eq!(g.in_csr().row(u), g.in_neighbors(u));
+        }
+        assert_eq!(g.out_csr().nnz(), g.m());
+        assert_eq!(g.in_csr().nnz(), g.m());
+        assert_eq!(g.out_csr().offsets().len(), g.n() + 1);
     }
 
     #[test]

@@ -4,9 +4,56 @@
 use proptest::prelude::*;
 use radio_graph::analysis::{bfs_distances, bfs_layers, degree_stats};
 use radio_graph::components::{induced_subgraph, strongly_connected_components};
-use radio_graph::generate::gnp_directed;
+use radio_graph::csr::Csr;
+use radio_graph::generate::{gnp_directed, random_geometric};
 use radio_graph::{DiGraph, NodeId};
 use radio_util::derive_rng;
+
+/// Independent adjacency-list construction: push edges one at a time, in
+/// *reversed* iteration order so the build path shares nothing with the
+/// sorted CSR assembly.
+fn adjacency_lists(g: &DiGraph) -> (Vec<Vec<NodeId>>, Vec<Vec<NodeId>>) {
+    let mut out = vec![Vec::new(); g.n()];
+    let mut inn = vec![Vec::new(); g.n()];
+    let mut edges: Vec<_> = g.edges().collect();
+    edges.reverse();
+    for (u, v) in edges {
+        out[u as usize].push(v);
+        inn[v as usize].push(u);
+    }
+    (out, inn)
+}
+
+/// `a` is a permutation of `b`.
+fn permutation_equal(a: &[NodeId], b: &[NodeId]) -> bool {
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    a.sort_unstable();
+    b.sort_unstable();
+    a == b
+}
+
+/// CSR out/in rows hold exactly the adjacency-list neighbors (as
+/// multisets) for every node of `g`.
+fn assert_csr_matches_adjacency(g: &DiGraph) {
+    let (out, inn) = adjacency_lists(g);
+    for u in 0..g.n() {
+        assert!(
+            permutation_equal(g.out_csr().row(u as NodeId), &out[u]),
+            "out row {u} diverges"
+        );
+        assert!(
+            permutation_equal(g.in_csr().row(u as NodeId), &inn[u]),
+            "in row {u} diverges"
+        );
+        assert_eq!(g.out_csr().degree(u as NodeId), out[u].len());
+        assert_eq!(g.in_csr().degree(u as NodeId), inn[u].len());
+    }
+    // Round-tripping the lists through the standalone Csr builder lands
+    // on the identical flat arrays (rows are sorted either way).
+    assert_eq!(&Csr::from_adj_lists(&out), g.out_csr());
+    assert_eq!(&Csr::from_adj_lists(&inn), g.in_csr());
+}
 
 /// Arbitrary small digraph from an edge list.
 fn arb_graph() -> impl Strategy<Value = DiGraph> {
@@ -107,5 +154,22 @@ proptest! {
         let g2 = gnp_directed(n, p, &mut derive_rng(seed, b"prop-gnp", 0));
         prop_assert_eq!(&g1, &g2);
         prop_assert!(g1.edges().all(|(u, v)| u != v && (v as usize) < n));
+    }
+
+    /// CSR backend ≡ adjacency lists on random G(n,p): every out-/in-row
+    /// is permutation-equal to an independently built `Vec<Vec<NodeId>>`.
+    #[test]
+    fn csr_matches_adjacency_lists_on_gnp(n in 2usize..150, p in 0.0f64..0.4, seed in any::<u64>()) {
+        let g = gnp_directed(n, p, &mut derive_rng(seed, b"prop-csr-gnp", 0));
+        assert_csr_matches_adjacency(&g);
+    }
+
+    /// Same equivalence on random geometric (unit-disk) graphs, whose
+    /// builder path goes through `GraphBuilder` rather than the sorted
+    /// fast path.
+    #[test]
+    fn csr_matches_adjacency_lists_on_geometric(n in 2usize..120, r in 0.01f64..0.5, seed in any::<u64>()) {
+        let (g, _positions) = random_geometric(n, r, &mut derive_rng(seed, b"prop-csr-geo", 0));
+        assert_csr_matches_adjacency(&g);
     }
 }

@@ -9,13 +9,20 @@ use rand_chacha::ChaCha8Rng;
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// Hard round cap; a run that has not completed by then reports
-    /// `completed = false`.
+    /// `completed = false` and `hit_round_cap = true`.
     pub max_rounds: u64,
     /// Half-duplex radios (default, the standard radio model): a node
     /// that transmits in round `t` cannot also receive in round `t`.
     pub half_duplex: bool,
     /// Record a per-round [`Trace`] (costs one `RoundRecord` per round).
     pub record_trace: bool,
+    /// Log to stderr when a run stops at `max_rounds` without completing.
+    /// Defaults to `true` under [`EngineConfig::default`] (whose huge cap
+    /// would otherwise silently mask non-terminating protocols) and
+    /// `false` under [`EngineConfig::with_max_rounds`] (a deliberately
+    /// chosen budget, e.g. a fixed-length schedule that always runs to
+    /// its cap).
+    pub warn_on_round_cap: bool,
 }
 
 impl Default for EngineConfig {
@@ -24,15 +31,19 @@ impl Default for EngineConfig {
             max_rounds: 1_000_000,
             half_duplex: true,
             record_trace: false,
+            warn_on_round_cap: true,
         }
     }
 }
 
 impl EngineConfig {
-    /// Config with a round cap and defaults otherwise.
+    /// Config with a deliberately chosen round cap and defaults
+    /// otherwise; cap-hit warnings are off (hitting a chosen budget is an
+    /// expected outcome, not a masked hang).
     pub fn with_max_rounds(max_rounds: u64) -> Self {
         EngineConfig {
             max_rounds,
+            warn_on_round_cap: false,
             ..Default::default()
         }
     }
@@ -40,6 +51,12 @@ impl EngineConfig {
     /// Enable per-round tracing.
     pub fn traced(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Override the cap-hit warning.
+    pub fn warn_on_cap(mut self, warn: bool) -> Self {
+        self.warn_on_round_cap = warn;
         self
     }
 }
@@ -51,32 +68,59 @@ pub struct RunResult {
     pub rounds: u64,
     /// Whether [`Protocol::is_complete`] turned true within the cap.
     pub completed: bool,
+    /// The run was cut off by `max_rounds` while still incomplete — the
+    /// protocol may not terminate at all. Sweeps count these per cell.
+    pub hit_round_cap: bool,
     /// Energy accounting.
     pub metrics: Metrics,
     /// Per-round records when tracing was enabled.
     pub trace: Option<Trace>,
 }
 
+/// Per-node round-stamped scratch, packed into one 8-byte record (eight
+/// per cache line) so the scatter loop's random access to a target costs
+/// a single line instead of three — separate `stamp`/`hit_count`/
+/// `hit_source` arrays put the same node's state in three different
+/// lines, and every edge of every transmitter touches its target's
+/// state, making this the dominant cost of the collision count at scale.
+///
+/// The collision rule only needs "exactly one transmitter in range", so
+/// the paper-faithful count collapses to one *collided* bit folded into
+/// the stamp word. Stamps are `u32` round numbers (`0` = never; rounds
+/// are 1-based); [`Engine::run_with`] asserts the round cap fits 31
+/// bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+struct HitRecord {
+    /// `round << 1 | collided` for the round in which `source` was last
+    /// written (0 = never).
+    stamp: u32,
+    /// The transmitter heard this round; meaningful iff not collided.
+    source: NodeId,
+}
+
+const HIT_NEVER: HitRecord = HitRecord {
+    stamp: 0,
+    source: 0,
+};
+
 /// Reusable simulation engine for one graph.
 ///
-/// Scratch buffers (`hit_count`, `stamp`, …) persist across runs so a
-/// trial loop over seeds on a fixed graph performs no per-run allocation
+/// Scratch buffers (`hits`, `touched`) persist across runs so a trial
+/// loop over seeds on a fixed graph performs no per-run allocation
 /// beyond the metrics vector — the "reuse collections" idiom from the
 /// perf guides.
 pub struct Engine<'g> {
     graph: &'g DiGraph,
     cfg: EngineConfig,
-    // --- per-round scratch, stamped by round number to avoid clearing ---
-    /// Round in which `hit_count`/`hit_source` for a node were last valid.
-    stamp: Vec<u64>,
-    /// Number of in-range transmitters this round.
-    hit_count: Vec<u32>,
-    /// The unique transmitter when `hit_count == 1`.
-    hit_source: Vec<NodeId>,
+    /// Per-node scratch, stamped by round number to avoid clearing.
+    hits: Vec<HitRecord>,
+    /// Round in which each node last transmitted (`0` = never), for the
+    /// half-duplex check; only touched per transmitter/receiver, so it
+    /// stays out of the per-edge record.
+    sent: Vec<u32>,
     /// Nodes touched by at least one transmission this round.
     touched: Vec<NodeId>,
-    /// Whether a node transmitted this round (for half-duplex).
-    sent_stamp: Vec<u64>,
 }
 
 impl<'g> Engine<'g> {
@@ -86,11 +130,9 @@ impl<'g> Engine<'g> {
         Engine {
             graph,
             cfg,
-            stamp: vec![u64::MAX; n],
-            hit_count: vec![0; n],
-            hit_source: vec![0; n],
+            hits: vec![HIT_NEVER; n],
+            sent: vec![0; n],
             touched: Vec::with_capacity(64),
-            sent_stamp: vec![u64::MAX; n],
         }
     }
 
@@ -115,11 +157,16 @@ impl<'g> Engine<'g> {
         P: Protocol,
     {
         let n = self.graph.n();
+        assert!(
+            self.cfg.max_rounds < u64::from(u32::MAX >> 1),
+            "max_rounds must fit the 31-bit round stamps (< {})",
+            u32::MAX >> 1
+        );
         let mut metrics = Metrics::new(n);
         // Round numbers restart at 1 every run, so stale stamps from a
         // previous run on this engine would alias; reset them.
-        self.stamp.fill(u64::MAX);
-        self.sent_stamp.fill(u64::MAX);
+        self.hits.fill(HIT_NEVER);
+        self.sent.fill(0);
         let mut trace = self.cfg.record_trace.then(Trace::default);
 
         // Awake bookkeeping. `awake_list` may contain stale entries for
@@ -146,8 +193,16 @@ impl<'g> Engine<'g> {
         while !completed && rounds < self.cfg.max_rounds && awake_count > 0 {
             rounds += 1;
             let round = rounds;
+            let rstamp = round as u32; // fits: max_rounds < 2³¹
+                                       // `stamp` values for this round: clean reception vs collision.
+            let hit_once = rstamp << 1;
+            let hit_many = hit_once | 1;
             let graph = pick(round);
             debug_assert_eq!(graph.n(), n, "topology changed node count mid-run");
+            // Borrow the raw CSR arrays once per round: the scatter loop
+            // below indexes them directly instead of re-slicing through
+            // accessor calls per transmitter.
+            let (out_offsets, out_neighbors) = graph.out_csr().raw();
 
             // --- poll phase -------------------------------------------------
             transmitters.clear();
@@ -164,7 +219,7 @@ impl<'g> Engine<'g> {
                     }
                     Action::Transmit => {
                         transmitters.push(v);
-                        self.sent_stamp[v as usize] = round;
+                        self.sent[v as usize] = rstamp;
                         awake_list[w] = v;
                         w += 1;
                     }
@@ -177,18 +232,27 @@ impl<'g> Engine<'g> {
             awake_list.truncate(w);
 
             // --- transmit phase ---------------------------------------------
+            // Scatter over flat CSR slices: `out_neighbors` is one
+            // contiguous array, so consecutive transmitters stream it
+            // forward instead of chasing per-node heap allocations, and
+            // each target update touches exactly one `HitRecord` line.
             self.touched.clear();
             for &u in &transmitters {
                 metrics.record_transmission(u);
-                for &v in graph.out_neighbors(u) {
-                    let vi = v as usize;
-                    if self.stamp[vi] != round {
-                        self.stamp[vi] = round;
-                        self.hit_count[vi] = 1;
-                        self.hit_source[vi] = u;
+                let ui = u as usize;
+                let row = out_offsets[ui] as usize..out_offsets[ui + 1] as usize;
+                for &v in &out_neighbors[row] {
+                    let h = &mut self.hits[v as usize];
+                    if h.stamp | 1 != hit_many {
+                        // First hit this round: remember the transmitter.
+                        *h = HitRecord {
+                            stamp: hit_once,
+                            source: u,
+                        };
                         self.touched.push(v);
                     } else {
-                        self.hit_count[vi] += 1;
+                        // Second or later hit: mark collided.
+                        h.stamp = hit_many;
                     }
                 }
             }
@@ -196,22 +260,28 @@ impl<'g> Engine<'g> {
             // --- delivery phase ----------------------------------------------
             // Payloads are materialised once per transmitter, not per
             // delivery. For plain broadcast Msg = () this is free.
+            //
+            // Delivery order must be ascending receiver id (the contract
+            // shared with `reference`/`baseline`). Two equivalent ways to
+            // get it: sort the touched list, or scan every node's stamp in
+            // id order. The scan reads `16n` bytes sequentially, which
+            // beats sorting once a decent fraction of the graph was
+            // touched (dense rounds are exactly when the sort is at its
+            // most expensive), so pick per round.
             let mut deliveries = 0u64;
             let mut first_receptions = 0u64;
             if !transmitters.is_empty() {
-                // `touched` is filled in transmitter-scan order; sort for a
-                // well-defined (ascending receiver) delivery order.
-                self.touched.sort_unstable();
-                for i in 0..self.touched.len() {
-                    let v = self.touched[i];
+                let dense = self.touched.len() >= n / 8;
+                let mut deliver_to = |v: NodeId, protocol: &mut P, rng: &mut ChaCha8Rng| {
                     let vi = v as usize;
-                    if self.hit_count[vi] != 1 {
-                        continue; // collision at v
+                    let h = self.hits[vi];
+                    if h.stamp != hit_once {
+                        return; // collision at v (or stale record)
                     }
-                    if self.cfg.half_duplex && self.sent_stamp[vi] == round {
-                        continue; // v's own radio was busy transmitting
+                    if self.cfg.half_duplex && self.sent[vi] == rstamp {
+                        return; // v's own radio was busy transmitting
                     }
-                    let from = self.hit_source[vi];
+                    let from = h.source;
                     let msg = protocol.payload(from, round);
                     let informed_before = protocol.informed_count();
                     protocol.on_receive(v, from, round, &msg, rng);
@@ -223,6 +293,20 @@ impl<'g> Engine<'g> {
                         is_awake[vi] = true;
                         awake_count += 1;
                         awake_list.push(v);
+                    }
+                };
+                if dense {
+                    for v in 0..n as NodeId {
+                        if self.hits[v as usize].stamp | 1 == hit_many {
+                            deliver_to(v, protocol, rng);
+                        }
+                    }
+                } else {
+                    // `touched` is filled in transmitter-scan order; sort
+                    // for the ascending receiver order.
+                    self.touched.sort_unstable();
+                    for i in 0..self.touched.len() {
+                        deliver_to(self.touched[i], protocol, rng);
                     }
                 }
             }
@@ -242,9 +326,22 @@ impl<'g> Engine<'g> {
         }
 
         metrics.set_rounds(rounds);
+        let hit_round_cap = !completed && rounds >= self.cfg.max_rounds;
+        if hit_round_cap && self.cfg.warn_on_round_cap {
+            eprintln!(
+                "radio-sim: run stopped at the max_rounds cap ({}) without completing \
+                 ({} of {} nodes informed) — the protocol may never terminate; \
+                 pick an explicit budget with EngineConfig::with_max_rounds or \
+                 silence this with warn_on_cap(false)",
+                self.cfg.max_rounds,
+                protocol.informed_count(),
+                n
+            );
+        }
         RunResult {
             rounds,
             completed,
+            hit_round_cap,
             metrics,
             trace,
         }
@@ -526,6 +623,7 @@ mod tests {
             max_rounds: 10,
             half_duplex: true,
             record_trace: false,
+            warn_on_round_cap: false,
         };
         let res = run_protocol(&g, &mut p, cfg, &mut rng);
         assert_eq!(res.metrics.total_transmissions(), 20);
@@ -574,6 +672,7 @@ mod tests {
             max_rounds: 10,
             half_duplex: false,
             record_trace: false,
+            warn_on_round_cap: false,
         };
         let _ = run_protocol(&g, &mut p, cfg, &mut rng);
         assert_eq!(

@@ -23,17 +23,30 @@
 //! draw from it only inside `decide`/`on_receive`, in a fixed polling
 //! order, so every run is exactly reproducible. [`reference`] contains a
 //! deliberately naive O(n·deg) second implementation of the collision
-//! semantics against which the optimised engine is property-tested.
+//! semantics against which the optimised engine is property-tested, and
+//! [`baseline`] a third one over `Vec<Vec<NodeId>>` adjacency lists that
+//! doubles as the perf baseline for the CSR engine bench.
+//!
+//! [`sweep`] turns the "many seeded trials over a parameter grid"
+//! pattern into a declarative object: cells of
+//! `n × algorithm × graph-family × p`, rayon fan-out with per-trial
+//! ChaCha8 streams, and deterministic JSON reports under `results/`.
+//! [`trials::parallel_trials`] remains as the low-level free-form
+//! fan-out underneath it.
 
+pub mod baseline;
 pub mod engine;
 pub mod fault;
 pub mod metrics;
 pub mod reference;
+pub mod sweep;
 pub mod trials;
 
+pub use baseline::{run_adjlist, AdjListGraph};
 pub use engine::{run_dynamic, Engine, EngineConfig, RunResult};
 pub use fault::{CrashPlan, Faulty};
 pub use metrics::{Metrics, RoundRecord, Trace};
+pub use sweep::{CellResults, CellSummary, Sweep, SweepCell, SweepReport, TrialResult};
 pub use trials::parallel_trials;
 
 use rand_chacha::ChaCha8Rng;

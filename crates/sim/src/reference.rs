@@ -115,6 +115,7 @@ pub fn run_reference<P: Protocol>(
     RunResult {
         rounds,
         completed,
+        hit_round_cap: !completed && rounds >= cfg.max_rounds,
         metrics,
         trace: None,
     }
@@ -307,6 +308,7 @@ mod tests {
                 max_rounds: 300,
                 half_duplex: false,
                 record_trace: false,
+                warn_on_round_cap: false,
             };
             let mut p1 = RandomQuiet::new(80, 2);
             let mut rng1 = derive_rng(seed, b"refrun", 1);

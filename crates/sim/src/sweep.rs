@@ -1,0 +1,615 @@
+//! Declarative parameter sweeps over `n × algorithm × graph-family × p`.
+//!
+//! The paper's results are statements *at scale* — Figure 1 and the
+//! Theorem 2.1/4.4 tables each aggregate hundreds of independent runs
+//! across a grid of `(n, p)` cells. This module turns that pattern into
+//! one declarative object instead of a hand-rolled loop per experiment:
+//!
+//! 1. describe the grid as [`SweepCell`]s (explicit cells, a cartesian
+//!    [`Sweep::grid`], or both),
+//! 2. supply one runner closure `(cell, graph, seed) → TrialResult`,
+//! 3. get back per-trial raw data ([`Sweep::collect`]) and an aggregated
+//!    [`SweepReport`] that serializes to deterministic JSON under
+//!    `results/`.
+//!
+//! Execution fans out over rayon with one flattened task per
+//! `(cell, trial)`. Every trial owns an independent ChaCha8 stream derived
+//! from `(base_seed, cell index, trial index)` via
+//! [`split_seed`](radio_util::split_seed), so results are a pure function
+//! of the sweep description — bit-identical on 1 thread or N (the
+//! determinism tests in `tests/determinism.rs` assert exactly this on the
+//! JSON bytes).
+
+use radio_graph::{DiGraph, GraphFamily};
+use radio_stats::SummaryStats;
+use radio_util::{derive_rng, split_seed, Json};
+use rayon::prelude::*;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One grid cell: a topology family at `(n, p)` driven by a named
+/// algorithm. The algorithm is a label the runner closure dispatches on;
+/// the sweep machinery itself never interprets it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Algorithm label, e.g. `"ee_broadcast"`.
+    pub algorithm: String,
+    /// Topology family; `p`'s meaning is family-specific.
+    pub family: GraphFamily,
+    /// Number of nodes.
+    pub n: usize,
+    /// Family parameter (edge probability, radius, …).
+    pub p: f64,
+}
+
+impl SweepCell {
+    /// Build a cell.
+    pub fn new(algorithm: impl Into<String>, family: GraphFamily, n: usize, p: f64) -> Self {
+        SweepCell {
+            algorithm: algorithm.into(),
+            family,
+            n,
+            p,
+        }
+    }
+}
+
+/// What one trial measured. The fixed fields mirror the engine's
+/// [`RunResult`](crate::RunResult) plus the protocol-level goal; `extras`
+/// carries experiment-specific scalars (growth factors, diameters, …)
+/// that aggregate into per-key stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialResult {
+    /// The protocol's `is_complete` turned true.
+    pub completed: bool,
+    /// Experiment-level success (e.g. every node informed).
+    pub success: bool,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// The run was cut off by the engine's round cap while incomplete.
+    pub hit_round_cap: bool,
+    /// Total transmissions (the paper's energy measure).
+    pub total_transmissions: u64,
+    /// Maximum transmissions by any single node.
+    pub max_transmissions_per_node: u32,
+    /// Nodes informed when the run ended.
+    pub informed: usize,
+    /// Named experiment-specific scalars.
+    pub extras: Vec<(String, f64)>,
+}
+
+impl TrialResult {
+    /// Lift an engine [`RunResult`](crate::RunResult) into a trial row.
+    pub fn from_run(run: &crate::RunResult, success: bool, informed: usize) -> Self {
+        TrialResult {
+            completed: run.completed,
+            success,
+            rounds: run.rounds,
+            hit_round_cap: run.hit_round_cap,
+            total_transmissions: run.metrics.total_transmissions(),
+            max_transmissions_per_node: run.metrics.max_transmissions_per_node(),
+            informed,
+            extras: Vec::new(),
+        }
+    }
+
+    /// Attach a named scalar (chainable).
+    pub fn extra(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.extras.push((key.into(), value));
+        self
+    }
+}
+
+/// All trials of one cell, in trial order.
+#[derive(Debug, Clone)]
+pub struct CellResults {
+    /// The cell description.
+    pub cell: SweepCell,
+    /// One entry per trial.
+    pub trials: Vec<TrialResult>,
+}
+
+/// Aggregates of one cell.
+#[derive(Debug, Clone)]
+pub struct CellSummary {
+    /// The cell description.
+    pub cell: SweepCell,
+    /// Trials executed.
+    pub trials: usize,
+    /// Trials with `success == true`.
+    pub successes: usize,
+    /// Trials with `completed == true`.
+    pub completed: usize,
+    /// Trials cut off by the round cap while incomplete — a non-zero
+    /// count flags protocols the cap would otherwise silently mask.
+    pub hit_round_cap: usize,
+    /// Mean informed-node count.
+    pub mean_informed: f64,
+    /// Round counts over all trials.
+    pub rounds: Option<SummaryStats>,
+    /// Round counts over successful trials only (the paper's broadcast
+    /// time conditions on success).
+    pub rounds_success: Option<SummaryStats>,
+    /// Total transmissions over all trials.
+    pub total_transmissions: Option<SummaryStats>,
+    /// Max per-node transmissions over all trials.
+    pub max_transmissions_per_node: u32,
+    /// Per-key stats over the trials that reported each extra, in
+    /// first-seen order.
+    pub extras: Vec<(String, SummaryStats)>,
+}
+
+impl CellSummary {
+    fn from_results(results: &CellResults) -> Self {
+        let ts = &results.trials;
+        let stats = |xs: Vec<f64>| (!xs.is_empty()).then(|| SummaryStats::from_slice(&xs));
+        let mut extra_keys: Vec<String> = Vec::new();
+        for t in ts {
+            for (k, _) in &t.extras {
+                if !extra_keys.iter().any(|e| e == k) {
+                    extra_keys.push(k.clone());
+                }
+            }
+        }
+        let extras = extra_keys
+            .into_iter()
+            .filter_map(|key| {
+                let xs: Vec<f64> = ts
+                    .iter()
+                    .flat_map(|t| t.extras.iter())
+                    .filter(|(k, _)| *k == key)
+                    .map(|(_, v)| *v)
+                    .collect();
+                stats(xs).map(|s| (key, s))
+            })
+            .collect();
+        CellSummary {
+            cell: results.cell.clone(),
+            trials: ts.len(),
+            successes: ts.iter().filter(|t| t.success).count(),
+            completed: ts.iter().filter(|t| t.completed).count(),
+            hit_round_cap: ts.iter().filter(|t| t.hit_round_cap).count(),
+            mean_informed: if ts.is_empty() {
+                0.0
+            } else {
+                ts.iter().map(|t| t.informed as f64).sum::<f64>() / ts.len() as f64
+            },
+            rounds: stats(ts.iter().map(|t| t.rounds as f64).collect()),
+            rounds_success: stats(
+                ts.iter()
+                    .filter(|t| t.success)
+                    .map(|t| t.rounds as f64)
+                    .collect(),
+            ),
+            total_transmissions: stats(ts.iter().map(|t| t.total_transmissions as f64).collect()),
+            max_transmissions_per_node: ts
+                .iter()
+                .map(|t| t.max_transmissions_per_node)
+                .max()
+                .unwrap_or(0),
+            extras,
+        }
+    }
+}
+
+/// A declarative sweep: named, seeded, with a cell list and a trial
+/// count shared by every cell.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Report name; the JSON lands at `results/sweep_<name>.json`.
+    pub name: String,
+    /// Master seed every trial stream derives from.
+    pub base_seed: u64,
+    /// Trials per cell.
+    pub trials: usize,
+    cells: Vec<SweepCell>,
+}
+
+impl Sweep {
+    /// An empty sweep.
+    pub fn new(name: impl Into<String>, base_seed: u64, trials: usize) -> Self {
+        Sweep {
+            name: name.into(),
+            base_seed,
+            trials,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Append one explicit cell.
+    pub fn push(&mut self, cell: SweepCell) -> &mut Self {
+        self.cells.push(cell);
+        self
+    }
+
+    /// Append the full cartesian product `algorithms × families × ns × ps`
+    /// (in that nesting order, innermost `ps`).
+    pub fn grid(
+        &mut self,
+        algorithms: &[&str],
+        families: &[GraphFamily],
+        ns: &[usize],
+        ps: &[f64],
+    ) -> &mut Self {
+        for &alg in algorithms {
+            for family in families {
+                for &n in ns {
+                    for &p in ps {
+                        self.cells.push(SweepCell::new(alg, family.clone(), n, p));
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// The cells, in execution order.
+    pub fn cells(&self) -> &[SweepCell] {
+        &self.cells
+    }
+
+    /// The independent seed of `(cell, trial)`: two keyed
+    /// [`split_seed`](radio_util::split_seed) hops, so neither reordering
+    /// cells nor changing the trial count correlates streams.
+    pub fn trial_seed(&self, cell_index: usize, trial: usize) -> u64 {
+        let cell_seed = split_seed(self.base_seed, b"sweep-cell", cell_index as u64);
+        split_seed(cell_seed, b"sweep-trial", trial as u64)
+    }
+
+    /// Run every `(cell, trial)` with rayon fan-out and return the raw
+    /// per-trial results, in cell-then-trial order.
+    ///
+    /// The runner receives the cell, the freshly generated graph for this
+    /// trial, and the trial seed (all protocol randomness must derive
+    /// from it). It must be a pure function of its arguments; execution
+    /// order then cannot influence results.
+    pub fn collect<F>(&self, runner: F) -> Vec<CellResults>
+    where
+        F: Fn(&SweepCell, &DiGraph, u64) -> TrialResult + Sync,
+    {
+        let total = self.cells.len() * self.trials;
+        let flat: Vec<TrialResult> = (0..total)
+            .into_par_iter()
+            .map(|i| self.one_trial(i, &runner))
+            .collect();
+        self.group(flat)
+    }
+
+    /// [`Sweep::collect`] without the thread fan-out — the 1-thread
+    /// reference the determinism tests compare against.
+    pub fn collect_serial<F>(&self, runner: F) -> Vec<CellResults>
+    where
+        F: Fn(&SweepCell, &DiGraph, u64) -> TrialResult + Sync,
+    {
+        let total = self.cells.len() * self.trials;
+        let flat: Vec<TrialResult> = (0..total).map(|i| self.one_trial(i, &runner)).collect();
+        self.group(flat)
+    }
+
+    /// Execute and aggregate in one step.
+    pub fn run<F>(&self, runner: F) -> SweepReport
+    where
+        F: Fn(&SweepCell, &DiGraph, u64) -> TrialResult + Sync,
+    {
+        self.report(&self.collect(runner))
+    }
+
+    /// Serial [`Sweep::run`].
+    pub fn run_serial<F>(&self, runner: F) -> SweepReport
+    where
+        F: Fn(&SweepCell, &DiGraph, u64) -> TrialResult + Sync,
+    {
+        self.report(&self.collect_serial(runner))
+    }
+
+    /// Aggregate raw results (e.g. from [`Sweep::collect`]) into a report.
+    pub fn report(&self, results: &[CellResults]) -> SweepReport {
+        SweepReport {
+            name: self.name.clone(),
+            base_seed: self.base_seed,
+            trials_per_cell: self.trials,
+            cells: results.iter().map(CellSummary::from_results).collect(),
+        }
+    }
+
+    fn one_trial<F>(&self, flat_index: usize, runner: &F) -> TrialResult
+    where
+        F: Fn(&SweepCell, &DiGraph, u64) -> TrialResult + Sync,
+    {
+        let cell_index = flat_index / self.trials;
+        let trial = flat_index % self.trials;
+        let cell = &self.cells[cell_index];
+        let seed = self.trial_seed(cell_index, trial);
+        let graph = cell
+            .family
+            .generate(cell.n, cell.p, &mut derive_rng(seed, b"sweep-graph", 0));
+        runner(cell, &graph, seed)
+    }
+
+    fn group(&self, flat: Vec<TrialResult>) -> Vec<CellResults> {
+        let mut out: Vec<CellResults> = self
+            .cells
+            .iter()
+            .map(|cell| CellResults {
+                cell: cell.clone(),
+                trials: Vec::with_capacity(self.trials),
+            })
+            .collect();
+        for (i, trial) in flat.into_iter().enumerate() {
+            out[i / self.trials].trials.push(trial);
+        }
+        out
+    }
+}
+
+/// Aggregated sweep output; serializes to deterministic JSON.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Sweep name.
+    pub name: String,
+    /// Master seed (stringified in JSON so 64-bit values stay exact).
+    pub base_seed: u64,
+    /// Trials per cell.
+    pub trials_per_cell: usize,
+    /// One summary per cell, in sweep order.
+    pub cells: Vec<CellSummary>,
+}
+
+fn stats_json(s: &SummaryStats) -> Json {
+    Json::obj(vec![
+        ("n", Json::Num(s.n as f64)),
+        ("mean", Json::Num(s.mean)),
+        ("std", Json::Num(s.std)),
+        ("min", Json::Num(s.min)),
+        ("max", Json::Num(s.max)),
+        ("median", Json::Num(s.median)),
+    ])
+}
+
+fn opt_stats_json(s: &Option<SummaryStats>) -> Json {
+    s.as_ref().map_or(Json::Null, stats_json)
+}
+
+impl SweepReport {
+    /// The report as a JSON tree.
+    pub fn to_json(&self) -> Json {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::obj(vec![
+                    ("algorithm", Json::str(&c.cell.algorithm)),
+                    ("family", Json::str(c.cell.family.label())),
+                    ("n", Json::Num(c.cell.n as f64)),
+                    ("p", Json::Num(c.cell.p)),
+                    ("trials", Json::Num(c.trials as f64)),
+                    ("successes", Json::Num(c.successes as f64)),
+                    ("completed", Json::Num(c.completed as f64)),
+                    ("hit_round_cap", Json::Num(c.hit_round_cap as f64)),
+                    ("mean_informed", Json::Num(c.mean_informed)),
+                    ("rounds", opt_stats_json(&c.rounds)),
+                    ("rounds_success", opt_stats_json(&c.rounds_success)),
+                    (
+                        "total_transmissions",
+                        opt_stats_json(&c.total_transmissions),
+                    ),
+                    (
+                        "max_transmissions_per_node",
+                        Json::Num(c.max_transmissions_per_node as f64),
+                    ),
+                    (
+                        "extras",
+                        Json::Obj(
+                            c.extras
+                                .iter()
+                                .map(|(k, s)| (k.clone(), stats_json(s)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("name", Json::str(&self.name)),
+            ("base_seed", Json::str(self.base_seed.to_string())),
+            ("trials_per_cell", Json::Num(self.trials_per_cell as f64)),
+            ("cells", Json::Arr(cells)),
+        ])
+    }
+
+    /// The canonical serialized form (byte-deterministic).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Write `sweep_<name>.json` under `dir` (created if missing) and
+    /// return the path.
+    pub fn write_json(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("sweep_{}.json", self.name));
+        std::fs::write(&path, self.to_json_string())?;
+        Ok(path)
+    }
+
+    /// The summary for a specific cell, if present.
+    pub fn cell(&self, cell: &SweepCell) -> Option<&CellSummary> {
+        self.cells.iter().find(|c| &c.cell == cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_protocol;
+    use crate::{Action, EngineConfig, Protocol};
+    use radio_graph::NodeId;
+    use rand::RngExt;
+    use rand_chacha::ChaCha8Rng;
+
+    /// p-flood: every informed node transmits with probability 0.3.
+    struct P3Flood {
+        informed: Vec<bool>,
+        n_informed: usize,
+    }
+
+    impl P3Flood {
+        fn new(n: usize) -> Self {
+            let mut informed = vec![false; n];
+            informed[0] = true;
+            P3Flood {
+                informed,
+                n_informed: 1,
+            }
+        }
+    }
+
+    impl Protocol for P3Flood {
+        type Msg = ();
+        fn initially_awake(&self) -> Vec<NodeId> {
+            vec![0]
+        }
+        fn decide(&mut self, _n: NodeId, _r: u64, rng: &mut ChaCha8Rng) -> Action {
+            if rng.random_bool(0.3) {
+                Action::Transmit
+            } else {
+                Action::Silent
+            }
+        }
+        fn payload(&self, _n: NodeId, _r: u64) -> Self::Msg {}
+        fn on_receive(
+            &mut self,
+            node: NodeId,
+            _f: NodeId,
+            _r: u64,
+            _m: &Self::Msg,
+            _rng: &mut ChaCha8Rng,
+        ) {
+            if !self.informed[node as usize] {
+                self.informed[node as usize] = true;
+                self.n_informed += 1;
+            }
+        }
+        fn is_complete(&self) -> bool {
+            self.n_informed == self.informed.len()
+        }
+        fn informed_count(&self) -> usize {
+            self.n_informed
+        }
+        fn active_count(&self) -> usize {
+            self.n_informed
+        }
+    }
+
+    fn flood_runner(cell: &SweepCell, graph: &DiGraph, seed: u64) -> TrialResult {
+        let mut p = P3Flood::new(cell.n);
+        let mut rng = derive_rng(seed, b"sweep-proto", 0);
+        let run = run_protocol(graph, &mut p, EngineConfig::with_max_rounds(400), &mut rng);
+        let informed = p.n_informed;
+        TrialResult::from_run(&run, informed == cell.n, informed)
+            .extra("informed_frac", informed as f64 / cell.n as f64)
+    }
+
+    fn small_sweep() -> Sweep {
+        let mut sw = Sweep::new("unit", 99, 6);
+        sw.grid(
+            &["p3_flood"],
+            &[GraphFamily::GnpDirected],
+            &[48, 96],
+            &[0.12],
+        );
+        sw.push(SweepCell::new("p3_flood", GraphFamily::Path, 20, 0.0));
+        sw
+    }
+
+    #[test]
+    fn grid_enumerates_cartesian_product_plus_pushed_cells() {
+        let sw = small_sweep();
+        assert_eq!(sw.cells().len(), 3);
+        assert_eq!(sw.cells()[0].n, 48);
+        assert_eq!(sw.cells()[1].n, 96);
+        assert_eq!(sw.cells()[2].family, GraphFamily::Path);
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct_across_cells_and_trials() {
+        let sw = small_sweep();
+        let mut seeds = Vec::new();
+        for c in 0..sw.cells().len() {
+            for t in 0..sw.trials {
+                seeds.push(sw.trial_seed(c, t));
+            }
+        }
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len());
+    }
+
+    #[test]
+    fn parallel_and_serial_reports_are_bit_identical() {
+        let sw = small_sweep();
+        let par = sw.run(flood_runner).to_json_string();
+        let ser = sw.run_serial(flood_runner).to_json_string();
+        assert_eq!(par, ser);
+        // And stable across repeated execution.
+        assert_eq!(par, sw.run(flood_runner).to_json_string());
+    }
+
+    #[test]
+    fn summaries_aggregate_sensibly() {
+        let sw = small_sweep();
+        let report = sw.run(flood_runner);
+        assert_eq!(report.cells.len(), 3);
+        for cell in &report.cells {
+            assert_eq!(cell.trials, 6);
+            assert!(cell.successes <= cell.trials);
+            assert_eq!(
+                cell.completed, cell.successes,
+                "flood completes iff all informed"
+            );
+            assert!(cell.mean_informed >= 1.0);
+            let (key, frac) = &cell.extras[0];
+            assert_eq!(key, "informed_frac");
+            assert!(frac.mean > 0.0 && frac.mean <= 1.0);
+            // hit_round_cap + completed can undercount trials only if the
+            // run quiesced (everyone asleep), which p-flood never does.
+            assert_eq!(cell.hit_round_cap + cell.completed, cell.trials);
+        }
+        // The path cell is tiny and connected: flood always succeeds.
+        let path_cell = &report.cells[2];
+        assert_eq!(path_cell.successes, path_cell.trials);
+        assert!(path_cell.rounds_success.is_some());
+    }
+
+    #[test]
+    fn json_shape_is_parseable_and_complete() {
+        let sw = small_sweep();
+        let report = sw.run(flood_runner);
+        let parsed = Json::parse(&report.to_json_string()).expect("valid JSON");
+        assert_eq!(parsed.get("name").and_then(Json::as_str), Some("unit"));
+        assert_eq!(parsed.get("base_seed").and_then(Json::as_str), Some("99"));
+        let cells = parsed.get("cells").and_then(Json::as_arr).expect("cells");
+        assert_eq!(cells.len(), 3);
+        assert_eq!(
+            cells[0].get("family").and_then(Json::as_str),
+            Some("gnp_directed")
+        );
+        assert!(cells[0].get("rounds").is_some());
+        assert!(cells[0]
+            .get("extras")
+            .and_then(|e| e.get("informed_frac"))
+            .is_some());
+    }
+
+    #[test]
+    fn write_json_lands_named_file() {
+        let dir = std::env::temp_dir().join(format!("sweep-test-{}", std::process::id()));
+        let sw = Sweep::new("empty", 1, 2);
+        let path = sw.run(flood_runner).write_json(&dir).expect("write");
+        assert!(path.ends_with("sweep_empty.json"));
+        let text = std::fs::read_to_string(&path).expect("readable");
+        assert!(Json::parse(&text).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,436 @@
+//! Minimal, deterministic JSON tree: writer and parser.
+//!
+//! The workspace's machine-readable artifacts — sweep reports under
+//! `results/` and the `BENCH_*.json` perf baselines — need JSON, but the
+//! offline `serde` shim is a no-op facade. This module provides the small
+//! subset actually required, with two properties serde_json does not
+//! promise by default:
+//!
+//! * **Determinism**: objects are ordered `Vec`s (insertion order), float
+//!   formatting is Rust's shortest-roundtrip `Display`, and the writer
+//!   has no configuration — equal trees produce byte-identical output.
+//!   The sweep determinism tests rely on this.
+//! * **Self-containment**: the comparator binary in CI parses these files
+//!   with [`Json::parse`], so the format is round-trippable in-tree.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also used for NaN/infinite floats, which JSON cannot carry).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; integers survive up to 2⁵³ exactly.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key–value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience: an object from pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Look up a key in an object (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialize with 2-space indentation and a trailing newline —
+    /// byte-deterministic for equal trees.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document (the subset this module writes, which is all
+    /// of standard JSON except exotic escapes beyond `\uXXXX`).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 9.007_199_254_740_992e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    other => {
+                        return Err(format!("expected ',' or ']' at byte {pos}, got {other:?}"))
+                    }
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    other => {
+                        return Err(format!("expected ',' or '}}' at byte {pos}, got {other:?}"))
+                    }
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
+        .map_err(|e| e.to_string())
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut s = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(s);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'u') => {
+                        let code = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        let scalar = if (0xD800..0xDC00).contains(&code) {
+                            // High surrogate: standard JSON encodes astral
+                            // characters as a \uXXXX\uXXXX pair.
+                            if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                return Err("high surrogate without \\u low surrogate".into());
+                            }
+                            let low = parse_hex4(bytes, *pos + 3)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(format!("invalid low surrogate {low:#06x}"));
+                            }
+                            *pos += 6;
+                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                        } else {
+                            code
+                        };
+                        s.push(char::from_u32(scalar).ok_or("invalid \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (bytes are valid UTF-8: the
+                // input is a &str).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                s.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|e| e.to_string())?
+        .parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Json {
+        Json::obj(vec![
+            ("name", Json::str("sweep")),
+            ("seed", Json::Num(42.0)),
+            ("ratio", Json::Num(0.125)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            (
+                "cells",
+                Json::Arr(vec![
+                    Json::obj(vec![("n", Json::Num(1024.0))]),
+                    Json::Arr(vec![]),
+                    Json::Obj(vec![]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn round_trip_preserves_tree() {
+        let j = sample();
+        let text = j.to_string_pretty();
+        let back = Json::parse(&text).expect("parse");
+        assert_eq!(back, j);
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        assert_eq!(sample().to_string_pretty(), sample().to_string_pretty());
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        let mut s = String::new();
+        write_num(&mut s, 1024.0);
+        assert_eq!(s, "1024");
+        s.clear();
+        write_num(&mut s, 0.5);
+        assert_eq!(s, "0.5");
+        s.clear();
+        write_num(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let j = Json::str("a\"b\\c\nd\te\u{1}f");
+        let back = Json::parse(&j.to_string_pretty()).expect("parse");
+        assert_eq!(back, j);
+    }
+
+    #[test]
+    fn parses_plain_json() {
+        let j = Json::parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": null}}"#).expect("parse");
+        assert_eq!(
+            j.get("a").and_then(|a| a.as_arr()).map(|a| a.len()),
+            Some(3)
+        );
+        assert_eq!(
+            j.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(j.get("b").unwrap().get("c"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let j = Json::parse("\"\\ud83d\\ude00 ok\"").expect("surrogate pair");
+        assert_eq!(j.as_str(), Some("\u{1F600} ok"));
+        // Lone or malformed surrogates are rejected, not mangled.
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        assert!(Json::parse(r#""\ud83dA""#).is_err());
+        assert!(Json::parse(r#""\udc00""#).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn getters() {
+        let j = sample();
+        assert_eq!(j.get("seed").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(j.get("name").and_then(Json::as_str), Some("sweep"));
+        assert!(j.get("missing").is_none());
+        assert!(Json::Null.get("x").is_none());
+    }
+}

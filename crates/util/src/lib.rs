@@ -11,10 +11,12 @@
 //!   to print paper-style result tables.
 
 pub mod bitset;
+pub mod json;
 pub mod rng;
 pub mod table;
 
 pub use bitset::BitSet;
+pub use json::Json;
 pub use rng::{derive_rng, split_seed, SeedSequence};
 pub use table::TextTable;
 

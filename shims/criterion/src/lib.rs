@@ -6,14 +6,27 @@
 //! the `criterion_group!` / `criterion_main!` macros — so `cargo bench`
 //! compiles and runs against this shim unchanged.
 //!
-//! Measurement is deliberately simple: per benchmark, a warm-up batch
-//! followed by `sample_size` timed batches, reporting min/mean of the
-//! per-iteration wall time (and throughput when declared). No outlier
-//! rejection, no HTML reports, no regression baselines — swap in the real
-//! crate for those; every call site stays identical.
+//! Measurement is deliberately simple: per benchmark, a timed warm-up
+//! phase followed by `sample_size` timed batches, reporting min/mean of
+//! the per-iteration wall time (and throughput when declared). No outlier
+//! rejection, no HTML reports — swap in the real crate for those; every
+//! call site stays identical.
+//!
+//! Two extensions back the CI perf gate:
+//!
+//! * **Harness flags**: `--warm-up-time <secs>` and
+//!   `--measurement-time <secs>` are parsed from the bench binary's
+//!   arguments (the same spelling the real criterion accepts), so
+//!   `cargo bench -- --warm-up-time 0.5 --measurement-time 1` gives a
+//!   quick mode. Unknown flags are ignored, as before.
+//! * **Machine-readable output**: `--save-json <path>` (or the
+//!   `BENCH_JSON` environment variable) makes `criterion_main!` write
+//!   every result as a JSON document — the format `bench_compare` in
+//!   `crates/bench` diffs against a committed baseline.
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`] under criterion's name.
@@ -64,20 +77,94 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// One finished measurement, as recorded for JSON output.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Group name (or `"bench"` for ungrouped functions).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Minimum seconds per iteration.
+    pub min_s: f64,
+    /// Timed batches.
+    pub samples: usize,
+    /// Iterations per batch.
+    pub iters_per_sample: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Timing configuration, shared by every group of a `Criterion`.
+#[derive(Debug, Clone, Copy)]
+struct Timing {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing {
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
 /// Top-level harness state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    timing: Timing,
+    save_json: Option<String>,
+}
+
+impl Default for Criterion {
+    /// Reads harness flags from the process arguments (`--warm-up-time`,
+    /// `--measurement-time`, `--save-json`) and `BENCH_JSON` from the
+    /// environment; everything else keeps the built-in quick defaults.
+    fn default() -> Self {
+        let mut timing = Timing::default();
+        let mut save_json = std::env::var("BENCH_JSON").ok().filter(|s| !s.is_empty());
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 0;
+        while i < args.len() {
+            let value = args.get(i + 1);
+            match (args[i].as_str(), value) {
+                ("--warm-up-time", Some(v)) => {
+                    if let Ok(secs) = v.parse::<f64>() {
+                        timing.warm_up = Duration::from_secs_f64(secs.max(0.0));
+                    }
+                    i += 1;
+                }
+                ("--measurement-time", Some(v)) => {
+                    if let Ok(secs) = v.parse::<f64>() {
+                        timing.measurement = Duration::from_secs_f64(secs.max(1e-3));
+                    }
+                    i += 1;
+                }
+                ("--save-json", Some(v)) => {
+                    save_json = Some(v.clone());
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        Criterion { timing, save_json }
+    }
 }
 
 impl Criterion {
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let timing = self.timing;
         BenchmarkGroup {
             _criterion: self,
             name: name.into(),
             sample_size: 20,
             throughput: None,
+            timing,
         }
     }
 
@@ -87,10 +174,15 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut bencher = Bencher::new(20);
+        let mut bencher = Bencher::new(20, self.timing);
         f(&mut bencher);
         bencher.report("bench", &id.id, None);
         self
+    }
+
+    /// Where JSON results should be written, if requested.
+    pub fn json_path(&self) -> Option<&str> {
+        self.save_json.as_deref()
     }
 }
 
@@ -100,6 +192,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    timing: Timing,
 }
 
 impl BenchmarkGroup<'_> {
@@ -121,7 +214,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut bencher = Bencher::new(self.sample_size);
+        let mut bencher = Bencher::new(self.sample_size, self.timing);
         f(&mut bencher);
         bencher.report(&self.name, &id.id, self.throughput);
         self
@@ -138,7 +231,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut bencher = Bencher::new(self.sample_size);
+        let mut bencher = Bencher::new(self.sample_size, self.timing);
         f(&mut bencher, input);
         bencher.report(&self.name, &id.id, self.throughput);
         self
@@ -151,14 +244,16 @@ impl BenchmarkGroup<'_> {
 /// Timing driver handed to each benchmark closure.
 pub struct Bencher {
     sample_size: usize,
+    timing: Timing,
     samples: Vec<Duration>,
     iters_per_sample: u64,
 }
 
 impl Bencher {
-    fn new(sample_size: usize) -> Self {
+    fn new(sample_size: usize, timing: Timing) -> Self {
         Bencher {
             sample_size,
+            timing,
             samples: Vec::new(),
             iters_per_sample: 1,
         }
@@ -169,13 +264,25 @@ impl Bencher {
     where
         R: FnMut() -> O,
     {
-        // Warm-up and calibration: aim for batches of ≥ ~5 ms so cheap
-        // routines aren't dominated by timer resolution.
-        let start = Instant::now();
-        black_box(routine());
-        let once = start.elapsed().max(Duration::from_nanos(1));
-        let target = Duration::from_millis(5);
-        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        // Warm-up: run for at least `warm_up` (and at least once),
+        // tracking the fastest observed iteration as the calibration
+        // estimate.
+        let warm_start = Instant::now();
+        let mut once = Duration::MAX;
+        loop {
+            let t = Instant::now();
+            black_box(routine());
+            once = once.min(t.elapsed().max(Duration::from_nanos(1)));
+            if warm_start.elapsed() >= self.timing.warm_up {
+                break;
+            }
+        }
+        // Spread `measurement` across the samples; batch up enough
+        // iterations that cheap routines aren't dominated by timer
+        // resolution (≥ ~1 ms per batch).
+        let per_batch = (self.timing.measurement / self.sample_size.max(1) as u32)
+            .max(Duration::from_millis(1));
+        let iters = (per_batch.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
         self.iters_per_sample = iters;
 
         self.samples.clear();
@@ -216,6 +323,14 @@ impl Bencher {
             self.samples.len(),
             self.iters_per_sample,
         );
+        RESULTS.lock().expect("results poisoned").push(BenchRecord {
+            group: group.to_owned(),
+            id: id.to_owned(),
+            mean_s: mean,
+            min_s: min,
+            samples: self.samples.len(),
+            iters_per_sample: self.iters_per_sample,
+        });
     }
 }
 
@@ -228,6 +343,50 @@ fn fmt_time(secs: f64) -> String {
         format!("{:.3} µs", secs * 1e6)
     } else {
         format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialize every recorded result. Stable field order, one bench per
+/// entry, floats via shortest-roundtrip `Display`.
+pub fn results_to_json() -> String {
+    let results = RESULTS.lock().expect("results poisoned");
+    let mut out = String::from("{\n  \"benches\": [");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"group\": \"{}\", \"id\": \"{}\", \"mean_s\": {}, \"min_s\": {}, \
+             \"samples\": {}, \"iters_per_sample\": {}}}",
+            json_escape(&r.group),
+            json_escape(&r.id),
+            r.mean_s,
+            r.min_s,
+            r.samples,
+            r.iters_per_sample
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Called by `criterion_main!` after all groups ran: write the JSON
+/// results if `--save-json`/`BENCH_JSON` asked for them.
+pub fn finalize() {
+    let path = Criterion::default().save_json.filter(|p| !p.is_empty());
+    if let Some(path) = path {
+        let json = results_to_json();
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("bench results written to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write bench JSON to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -244,13 +403,16 @@ macro_rules! criterion_group {
 
 /// Emit `main` running the given group functions.
 ///
-/// Accepts and ignores standard harness flags (`--bench`, filters) so
-/// `cargo bench` invocations pass through cleanly.
+/// Accepts standard harness flags (`--warm-up-time`, `--measurement-time`,
+/// `--save-json`; filters and anything unknown are ignored) so
+/// `cargo bench` invocations pass through cleanly, then writes JSON
+/// results when requested.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
 }
@@ -276,8 +438,12 @@ mod tests {
     criterion_group!(benches, sample_bench);
 
     #[test]
-    fn group_macro_and_timing_run() {
+    fn group_macro_timing_and_json_registry_run() {
         benches();
+        let json = results_to_json();
+        assert!(json.contains("\"group\": \"shim_selftest\""));
+        assert!(json.contains("\"id\": \"named/7\""));
+        assert!(json.contains("\"mean_s\": "));
     }
 
     #[test]
@@ -293,5 +459,10 @@ mod tests {
         assert!(fmt_time(2e-3).ends_with(" ms"));
         assert!(fmt_time(2e-6).ends_with(" µs"));
         assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
     }
 }

@@ -19,8 +19,17 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator};
 }
 
-/// Number of worker threads used by [`ParallelIterator::collect`].
+/// Number of worker threads used by [`ParallelIterator::collect`]:
+/// `RAYON_NUM_THREADS` when set to a positive integer (the same knob the
+/// real crate's default pool honors), otherwise the machine parallelism.
 pub fn current_num_threads() -> usize {
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)

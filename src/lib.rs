@@ -98,7 +98,10 @@ pub mod prelude {
     pub use radio_graph::{
         induced_subgraph, largest_scc, strongly_connected_components, DiGraph, NodeId, Subgraph,
     };
-    pub use radio_sim::{run_dynamic, CrashPlan, Engine, EngineConfig, Faulty, Metrics, Protocol};
+    pub use radio_sim::{
+        run_dynamic, CrashPlan, Engine, EngineConfig, Faulty, Metrics, Protocol, Sweep, SweepCell,
+        SweepReport, TrialResult,
+    };
     pub use radio_stats::{mean, quantile, LinearFit, SummaryStats};
-    pub use radio_util::{derive_rng, BitSet, SeedSequence, TextTable};
+    pub use radio_util::{derive_rng, BitSet, Json, SeedSequence, TextTable};
 }
