@@ -9,11 +9,18 @@
 //! CSR backend answers. The acceptance bar for the storage refactor is
 //! `engine_csr ≥ 1.3 × engine_adjlist` at `n = 10⁴`; CI's perf gate
 //! tracks `engine_csr` against `BENCH_baseline.json`.
+//!
+//! The `engine_energy` group runs the same storm with the `radio-energy`
+//! overlay attached — `txonly` exercises the passthrough fast path
+//! (contractually near-zero overhead vs `engine_csr`), `linear` the full
+//! per-round duty charging — so the CI gate also pins the overlay's
+//! overhead on the CSR hot path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use radio_energy::{EnergySession, LinearRadio, TxOnly};
 use radio_graph::generate::gnp_directed;
 use radio_graph::{DiGraph, NodeId};
-use radio_sim::engine::run_protocol;
+use radio_sim::engine::{run_protocol, run_protocol_energy};
 use radio_sim::{run_adjlist, Action, AdjListGraph, EngineConfig, Protocol};
 use radio_util::derive_rng;
 use rand_chacha::ChaCha8Rng;
@@ -99,5 +106,48 @@ fn bench_engine_adjlist(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_csr, bench_engine_adjlist);
+fn bench_engine_energy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_energy");
+    group.sample_size(10);
+    let g = storm_graph(N);
+    group.throughput(Throughput::Elements(g.m() as u64 * ROUNDS));
+    // Passthrough: TxOnly without batteries skips all per-round charging.
+    group.bench_with_input(BenchmarkId::new("txonly", N), &g, |b, g| {
+        b.iter(|| {
+            let mut p = Storm { n: N };
+            let mut rng = derive_rng(1, b"csr-bench", 0);
+            let mut session = EnergySession::new(N, TxOnly, 1);
+            black_box(run_protocol_energy(
+                g,
+                &mut p,
+                cfg(),
+                &mut rng,
+                &mut session,
+            ))
+        });
+    });
+    // Full overlay: per-transmitter charges plus the end-of-round sweep.
+    group.bench_with_input(BenchmarkId::new("linear", N), &g, |b, g| {
+        b.iter(|| {
+            let mut p = Storm { n: N };
+            let mut rng = derive_rng(1, b"csr-bench", 0);
+            let mut session = EnergySession::new(N, LinearRadio::with_listen_ratio(0.5), 1);
+            black_box(run_protocol_energy(
+                g,
+                &mut p,
+                cfg(),
+                &mut rng,
+                &mut session,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_csr,
+    bench_engine_adjlist,
+    bench_engine_energy
+);
 criterion_main!(benches);

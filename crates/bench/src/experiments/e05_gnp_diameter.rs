@@ -45,6 +45,7 @@ pub fn run(ctx: &Ctx) -> Report {
             total_transmissions: 0,
             max_transmissions_per_node: 0,
             informed: 0,
+            energy: None,
             extras: Vec::new(),
         };
         if let Some(d) = diam {

@@ -5,124 +5,181 @@
 //!
 //! * gossip (Algorithm 2) on a *moving* geometric network — topology
 //!   snapshots drift under Brownian mobility while the protocol runs;
-//! * broadcast under fail-stop crashes of a random node fraction.
+//! * broadcast under fail-stop node loss of a random fraction, injected
+//!   three ways: scheduled crashes (`CrashPlan`), battery depletion (the
+//!   `radio-energy` path — a capacity-2 battery under unit drain dies at
+//!   the end of round 2, i.e. is exactly a crash scheduled for round 3),
+//!   and *both at once* on the same nodes, which pins the sweep-level
+//!   guarantee that a node crashing **and** depleting in the same round
+//!   is counted once (`CrashPlan::failed_by`).
+//!
+//! Ported to the `radio-sim` sweep API (it predated it): one sweep per
+//! part, scenario parameters encoded in the algorithm label, JSON in
+//! `results/sweep_e16_mobility.json` / `results/sweep_e16_crash.json`.
 
+use crate::common::{cell_extra, sweep_note};
 use crate::{Ctx, Report};
 use radio_core::broadcast::ee_general::GeneralBroadcastConfig;
 use radio_core::broadcast::ee_random::{EeBroadcastConfig, EeRandomBroadcast};
 use radio_core::broadcast::windowed::{ProbSource, WindowedBroadcast, WindowedSpec};
 use radio_core::gossip::{EeGossip, EeGossipConfig};
 use radio_core::seq::SharedSequence;
-use radio_graph::generate::{gnp_directed, mobile_geometric_sequence, GeoParams};
-use radio_sim::engine::run_protocol;
-use radio_sim::{parallel_trials, CrashPlan, EngineConfig, Faulty};
-use radio_stats::SummaryStats;
+use radio_energy::{Battery, EnergySession, LinearRadio};
+use radio_graph::generate::{mobile_geometric_sequence, GeoParams};
+use radio_graph::{DiGraph, GraphFamily, NodeId};
+use radio_sim::engine::{run_protocol, run_protocol_energy};
+use radio_sim::{CrashPlan, EngineConfig, Faulty, Protocol, Sweep, SweepCell, TrialResult};
 use radio_util::{derive_rng, split_seed, TextTable};
 
-pub fn run(ctx: &Ctx) -> Report {
-    let mut report = Report::new("e16", "E16 — extension: mobility and fail-stop robustness");
-    let trials = ctx.trials(10, 4);
+/// Topology re-sample interval for the mobility runs, in rounds.
+const SWITCH_EVERY: u64 = 40;
 
-    // --- (a) Gossip under mobility ---------------------------------------
-    let n = 512;
-    let deg = 30.0;
-    let r = GeoParams::with_expected_degree(n, deg).r_min;
-    let p_equiv = deg / n as f64;
-    let mut t_a = TextTable::new(&[
-        "mobility σ / snapshot",
-        "switch every",
-        "success",
-        "gossip time",
-        "mean msgs/node",
-    ]);
-    for sigma in [0.0, 0.01, 0.05, 0.15] {
-        let outs = parallel_trials(trials, ctx.seed ^ (sigma * 1000.0) as u64, |_, seed| {
-            let cfg = EeGossipConfig {
-                gamma: 10.0,
-                tracked: Some(64),
-                ..EeGossipConfig::for_gnp(n, p_equiv)
-            };
-            let switch = 40u64;
-            let snapshots = (cfg.schedule_rounds() / switch + 2) as usize;
-            let graphs = mobile_geometric_sequence(
-                n,
-                r,
-                sigma,
-                snapshots,
-                &mut derive_rng(seed, b"e16-mob", 0),
-            );
-            let refs: Vec<&radio_graph::DiGraph> = graphs.iter().collect();
-            let mut protocol = EeGossip::new(cfg);
-            let mut rng = derive_rng(seed, b"engine", 0);
-            let run = radio_sim::run_dynamic(
-                &refs,
-                switch,
-                &mut protocol,
-                EngineConfig::with_max_rounds(cfg.schedule_rounds() + 1),
-                &mut rng,
-            );
-            (
-                protocol.gossip_time(),
-                run.metrics.mean_transmissions_per_node(),
-            )
-        });
-        let succ = outs.iter().filter(|o| o.0.is_some()).count();
-        let times: Vec<f64> = outs.iter().filter_map(|o| o.0.map(|t| t as f64)).collect();
-        let msgs: Vec<f64> = outs.iter().map(|o| o.1).collect();
-        t_a.row(&[
-            format!("{sigma}"),
-            "40 rounds".to_string(),
-            format!("{succ}/{trials}"),
-            if times.is_empty() {
-                "—".into()
-            } else {
-                format!("{:.0}", SummaryStats::from_slice(&times).mean)
-            },
-            format!("{:.1}", SummaryStats::from_slice(&msgs).mean),
-        ]);
+/// `"alg1_battery:f=0.3"` → `("alg1_battery", 0.3)`.
+fn parse_label(label: &str) -> (&str, f64) {
+    let (alg, f) = label.split_once(":f=").expect("scenario label");
+    (alg, f.parse().expect("fraction"))
+}
+
+/// One mobility trial. The sweep hands us a static geometric snapshot;
+/// mobility needs the whole Brownian sequence, so the runner regenerates
+/// it from the trial seed (`cell.p` is the connection radius, σ rides in
+/// the label as `gossip:f=σ`).
+fn mobility_trial(cell: &SweepCell, _graph: &DiGraph, seed: u64) -> TrialResult {
+    let n = cell.n;
+    let (_, sigma) = parse_label(&cell.algorithm);
+    // G(n,p)-equivalent density for the gossip config: on the unit torus
+    // a radius-r disk holds π r² n expected neighbours, so p = π r².
+    let p_equiv = std::f64::consts::PI * cell.p * cell.p;
+    let cfg = EeGossipConfig {
+        gamma: 10.0,
+        tracked: Some(64),
+        ..EeGossipConfig::for_gnp(n, p_equiv)
+    };
+    let snapshots = (cfg.schedule_rounds() / SWITCH_EVERY + 2) as usize;
+    let graphs = mobile_geometric_sequence(
+        n,
+        cell.p,
+        sigma,
+        snapshots,
+        &mut derive_rng(seed, b"e16-mob", 0),
+    );
+    let refs: Vec<&DiGraph> = graphs.iter().collect();
+    let mut protocol = EeGossip::new(cfg);
+    let mut rng = derive_rng(seed, b"engine", 0);
+    let run = radio_sim::run_dynamic(
+        &refs,
+        SWITCH_EVERY,
+        &mut protocol,
+        EngineConfig::with_max_rounds(cfg.schedule_rounds() + 1),
+        &mut rng,
+    );
+    let time = protocol.gossip_time();
+    let mut t = TrialResult::from_run(&run, time.is_some(), protocol.informed_count()).extra(
+        "mean_msgs_per_node",
+        run.metrics.mean_transmissions_per_node(),
+    );
+    if let Some(gt) = time {
+        t = t.extra("gossip_time", gt as f64);
     }
-    report.para(format!(
-        "(a) Algorithm 2 on a mobile geometric field (n = {n}, E[deg] ≈ {deg:.0}, \
-         topology re-sampled every 40 rounds with Brownian step σ): mobility \
-         *helps* gossip — moving nodes carry rumors across what would otherwise \
-         be slow multi-hop distances, a well-known delay-tolerant-network effect \
-         the local transmit-w.p.-1/d rule exploits for free."
-    ));
-    report.table(&t_a);
+    t
+}
 
-    // --- (b) Broadcast under fail-stop crashes ----------------------------
-    let n_b = 2048;
-    let p_b = 6.0 * (n_b as f64).ln() / n_b as f64;
-    let mut t_b = TextTable::new(&[
-        "crash fraction @ round 3",
-        "algorithm",
-        "survivors informed (mean frac)",
-        "runs with all survivors informed",
-    ]);
-    for frac in [0.0, 0.3, 0.6, 0.8] {
-        // Algorithm 1 (fragile: one-shot actives) vs Algorithm 3 (window
-        // gives surviving nodes many chances).
-        let outs = parallel_trials(trials, ctx.seed ^ (frac * 100.0) as u64, |_, seed| {
-            let g = gnp_directed(n_b, p_b, &mut derive_rng(seed, b"e16-g", 0));
-            // Spare the source: the measurement is dissemination under
-            // relay loss, not "the message died with its originator".
-            let plan =
-                CrashPlan::random_fraction(n_b, frac, 3, &mut derive_rng(seed, b"e16-crash", 0))
-                    .spare(0);
-            let survivors = plan.survivors();
+/// One crash/depletion trial. The doomed node set is drawn once per
+/// trial (fraction `f`, round 3, source spared) and then injected via
+/// the path named in the label.
+fn crash_trial(cell: &SweepCell, graph: &DiGraph, seed: u64) -> TrialResult {
+    let n = cell.n;
+    let (variant, frac) = parse_label(&cell.algorithm);
+    let plan =
+        CrashPlan::random_fraction(n, frac, 3, &mut derive_rng(seed, b"e16-crash", 0)).spare(0);
+    let survivors = plan.survivors();
+    // Battery equivalent of "crash at round 3": capacity 2 under unit
+    // drain depletes at the end of round 2 — dead from round 3 on.
+    let doomed_battery = || {
+        Battery::per_node(
+            (0..n)
+                .map(|v| {
+                    if plan.is_crashed(v as NodeId, u64::MAX) {
+                        2.0
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .collect(),
+        )
+    };
+    let session = || {
+        EnergySession::new(
+            n,
+            LinearRadio::uniform_drain(1.0),
+            split_seed(seed, b"e16-bat", 0),
+        )
+        .with_battery(doomed_battery())
+    };
 
-            let a_cfg = EeBroadcastConfig::for_gnp(n_b, p_b);
-            let mut alg1 = Faulty::new(EeRandomBroadcast::new(n_b, 0, a_cfg), plan.clone());
+    let a_cfg = EeBroadcastConfig::for_gnp(n, cell.p);
+    let engine_cfg = EngineConfig::with_max_rounds(a_cfg.schedule_end() + 2);
+    let survivor_frac = |p: &EeRandomBroadcast| {
+        let known = survivors
+            .iter()
+            .filter(|&&v| p.informed_round(v).is_some())
+            .count();
+        known as f64 / survivors.len().max(1) as f64
+    };
+
+    let (trial, frac_informed, failed) = match variant {
+        "alg1" => {
+            let mut p = Faulty::new(EeRandomBroadcast::new(n, 0, a_cfg), plan.clone());
             let mut rng = derive_rng(seed, b"engine", 0);
-            let _ = run_protocol(
-                &g,
-                &mut alg1,
-                EngineConfig::with_max_rounds(a_cfg.schedule_end() + 2),
-                &mut rng,
+            let run = run_protocol(graph, &mut p, engine_cfg, &mut rng);
+            let fi = survivor_frac(p.inner());
+            let failed = plan.failed_by(run.rounds, &[]);
+            (
+                TrialResult::from_run(&run, fi >= 1.0, p.informed_count()),
+                fi,
+                failed,
+            )
+        }
+        "alg1_battery" => {
+            // Same doomed set, injected purely through depletion.
+            let mut p = EeRandomBroadcast::new(n, 0, a_cfg);
+            let mut rng = derive_rng(seed, b"engine", 0);
+            let mut s = session();
+            let run = run_protocol_energy(graph, &mut p, engine_cfg, &mut rng, &mut s);
+            let fi = survivor_frac(&p);
+            let failed = CrashPlan::none(n).failed_by(run.run.rounds, &run.energy.depleted_at);
+            let informed = p.informed_count();
+            (
+                TrialResult::from_energy_run(&run, fi >= 1.0, informed),
+                fi,
+                failed,
+            )
+        }
+        "alg1_both" => {
+            // Crash AND depletion injected on the *same* nodes: every
+            // doomed node fails through both paths, and the summary
+            // count must still be the doomed-set size, not twice it.
+            let mut p = Faulty::new(EeRandomBroadcast::new(n, 0, a_cfg), plan.clone());
+            let mut rng = derive_rng(seed, b"engine", 0);
+            let mut s = session();
+            let run = run_protocol_energy(graph, &mut p, engine_cfg, &mut rng, &mut s);
+            let fi = survivor_frac(p.inner());
+            let failed = plan.failed_by(run.run.rounds, &run.energy.depleted_at);
+            assert!(
+                run.run.rounds < 3 || failed == plan.crash_count(),
+                "dedup broken: {} failed via two paths over {} doomed nodes",
+                failed,
+                plan.crash_count()
             );
-            let alg1_frac = informed_fraction(alg1.inner(), &survivors);
-
-            let g_cfg = GeneralBroadcastConfig::new(n_b, 6); // D ≈ 4–6 on this G(n,p)
+            let informed = p.informed_count();
+            (
+                TrialResult::from_energy_run(&run, fi >= 1.0, informed),
+                fi,
+                failed,
+            )
+        }
+        "alg3" => {
+            let g_cfg = GeneralBroadcastConfig::new(n, 6); // D ≈ 4–6 on this G(n,p)
             let spec = WindowedSpec {
                 source: ProbSource::Shared(SharedSequence::new(
                     g_cfg.distribution(),
@@ -131,54 +188,146 @@ pub fn run(ctx: &Ctx) -> Report {
                 window: Some(g_cfg.window()),
                 early_stop: false,
             };
-            let mut alg3 = Faulty::new(WindowedBroadcast::new(n_b, 0, spec), plan);
+            let mut p = Faulty::new(WindowedBroadcast::new(n, 0, spec), plan.clone());
             let mut rng = derive_rng(seed, b"engine3", 0);
-            let _ = run_protocol(
-                &g,
-                &mut alg3,
+            let run = run_protocol(
+                graph,
+                &mut p,
                 EngineConfig::with_max_rounds(g_cfg.max_rounds()),
                 &mut rng,
             );
-            let alg3_frac = survivors
+            let fi = survivors
                 .iter()
-                .filter(|&&v| alg3.inner().informed_round(v) != u64::MAX)
+                .filter(|&&v| p.inner().informed_round(v) != u64::MAX)
                 .count() as f64
                 / survivors.len().max(1) as f64;
-            (alg1_frac, alg3_frac)
-        });
-        for (name, idx) in [("Alg 1", 0usize), ("Alg 3", 1)] {
-            let fracs: Vec<f64> = outs
-                .iter()
-                .map(|o| if idx == 0 { o.0 } else { o.1 })
-                .collect();
-            let full = fracs.iter().filter(|&&f| f >= 1.0).count();
-            t_b.row(&[
-                format!("{:.0}%", frac * 100.0),
-                name.to_string(),
-                format!("{:.4}", SummaryStats::from_slice(&fracs).mean),
-                format!("{full}/{trials}"),
-            ]);
+            let failed = plan.failed_by(run.rounds, &[]);
+            (
+                TrialResult::from_run(&run, fi >= 1.0, p.informed_count()),
+                fi,
+                failed,
+            )
         }
-    }
-    report.para(format!(
-        "(b) Fail-stop crashes at round 3 (just as Phase 3 starts) on \
-         G(n = {n_b}, δ = 6), source spared. Both algorithms shrug off \
-         moderate relay loss: Algorithm 1's Phase-2 activation margin \
-         (A₀ ≈ 14 active in-neighbours per node) tolerates killing half of \
-         them, and Algorithm 3's β log²n window re-tries through survivors. \
-         Degradation appears only past ~60 % crashes and is graceful — the \
-         uninformed survivors are the e^(−A₀(1−f))-starved tail, not \
-         partitioned islands."
-    ));
-    report.table(&t_b);
-    report
+        other => unreachable!("unknown variant {other}"),
+    };
+    trial
+        .extra("survivor_informed_frac", frac_informed)
+        .extra("failed_nodes", failed as f64)
 }
 
-/// Fraction of surviving nodes that were informed.
-fn informed_fraction(p: &EeRandomBroadcast, survivors: &[radio_graph::NodeId]) -> f64 {
-    let known = survivors
-        .iter()
-        .filter(|&&v| p.informed_round(v).is_some())
-        .count();
-    known as f64 / survivors.len().max(1) as f64
+pub fn run(ctx: &Ctx) -> Report {
+    let mut report = Report::new("e16", "E16 — extension: mobility and fail-stop robustness");
+    let trials = ctx.trials(10, 4);
+
+    // --- (a) Gossip under mobility ---------------------------------------
+    let n = 512;
+    let r = GeoParams::with_expected_degree(n, 30.0).r_min;
+    let mut sw_mob = Sweep::new("e16_mobility", ctx.seed, trials);
+    for sigma in [0.0, 0.01, 0.05, 0.15] {
+        sw_mob.push(SweepCell::new(
+            format!("gossip:f={sigma}"),
+            GraphFamily::Geometric,
+            n,
+            r,
+        ));
+    }
+    let mob_report = sw_mob.run(mobility_trial);
+
+    let mut t_a = TextTable::new(&[
+        "mobility σ / snapshot",
+        "switch every",
+        "success",
+        "gossip time",
+        "mean msgs/node",
+    ]);
+    for cell in &mob_report.cells {
+        let (_, sigma) = parse_label(&cell.cell.algorithm);
+        t_a.row(&[
+            format!("{sigma}"),
+            format!("{SWITCH_EVERY} rounds"),
+            format!("{}/{}", cell.successes, cell.trials),
+            cell_extra(cell, "gossip_time").map_or("—".into(), |s| format!("{:.0}", s.mean)),
+            format!(
+                "{:.1}",
+                cell_extra(cell, "mean_msgs_per_node").map_or(0.0, |s| s.mean)
+            ),
+        ]);
+    }
+    report.para(format!(
+        "(a) Algorithm 2 on a mobile geometric field (n = {n}, E[deg] ≈ 30, \
+         topology re-sampled every {SWITCH_EVERY} rounds with Brownian step σ): \
+         mobility *helps* gossip — moving nodes carry rumors across what would \
+         otherwise be slow multi-hop distances, a well-known \
+         delay-tolerant-network effect the local transmit-w.p.-1/d rule \
+         exploits for free."
+    ));
+    report.table(&t_a);
+
+    // --- (b) Broadcast under fail-stop loss: crash vs battery paths -------
+    let n_b = 2048;
+    let p_b = 6.0 * (n_b as f64).ln() / n_b as f64;
+    let mut sw_crash = Sweep::new("e16_crash", ctx.seed ^ 0x16, trials);
+    for frac in [0.0, 0.3, 0.6, 0.8] {
+        for variant in ["alg1", "alg1_battery", "alg1_both", "alg3"] {
+            sw_crash.push(SweepCell::new(
+                format!("{variant}:f={frac}"),
+                GraphFamily::GnpDirected,
+                n_b,
+                p_b,
+            ));
+        }
+    }
+    let crash_report = sw_crash.run(crash_trial);
+
+    let mut t_b = TextTable::new(&[
+        "loss fraction @ round 3",
+        "scenario",
+        "survivors informed (mean frac)",
+        "runs with all survivors informed",
+        "failed nodes (mean)",
+    ]);
+    for cell in &crash_report.cells {
+        let (variant, frac) = parse_label(&cell.cell.algorithm);
+        let name = match variant {
+            "alg1" => "Alg 1 + CrashPlan",
+            "alg1_battery" => "Alg 1 + battery death",
+            "alg1_both" => "Alg 1 + both (dedup)",
+            _ => "Alg 3 + CrashPlan",
+        };
+        t_b.row(&[
+            format!("{:.0}%", frac * 100.0),
+            name.to_string(),
+            format!(
+                "{:.4}",
+                cell_extra(cell, "survivor_informed_frac").map_or(0.0, |s| s.mean)
+            ),
+            format!("{}/{}", cell.successes, cell.trials),
+            format!(
+                "{:.0}",
+                cell_extra(cell, "failed_nodes").map_or(0.0, |s| s.mean)
+            ),
+        ]);
+    }
+    report.para(format!(
+        "(b) Fail-stop loss at round 3 (just as Phase 3 starts) on \
+         G(n = {n_b}, δ = 6), source spared. The crash-plan and \
+         battery-depletion paths are interchangeable (capacity 2 under \
+         unit drain ≡ crash at round 3): survivor-informed fractions \
+         match within noise, and the doubly-injected scenario reports the \
+         same failed-node count as either single path — a node that \
+         crashes and depletes in the same round is counted once. Both \
+         algorithms shrug off moderate relay loss; degradation appears \
+         only past ~60 % and is graceful."
+    ));
+    report.table(&t_b);
+
+    for sweep_report in [&mob_report, &crash_report] {
+        match sweep_report.write_json(&ctx.out_dir) {
+            Ok(path) => {
+                report.para(sweep_note(&path));
+            }
+            Err(e) => eprintln!("warning: cannot write e16 sweep JSON: {e}"),
+        }
+    }
+    report
 }

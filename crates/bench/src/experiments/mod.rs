@@ -16,6 +16,7 @@ pub mod e13_comparisons;
 pub mod e14_ablations;
 pub mod e15_geometric;
 pub mod e16_robustness;
+pub mod e17_energy_lifetime;
 
 use crate::{Ctx, Report};
 
@@ -41,5 +42,6 @@ pub fn registry() -> Vec<(&'static str, Runner)> {
         ("e14", e14_ablations::run),
         ("e15", e15_geometric::run),
         ("e16", e16_robustness::run),
+        ("e17", e17_energy_lifetime::run),
     ]
 }

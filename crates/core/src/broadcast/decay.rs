@@ -31,16 +31,22 @@ pub struct DecayConfig {
     /// Stop at completion (the usual mode for this baseline; Decay has no
     /// energy story worth a full-schedule run, nodes never retire).
     pub early_stop: bool,
+    /// Optional retirement window in rounds after a node is informed
+    /// (`None` = classic BGI, active — and listening — forever). Used by
+    /// the energy-lifetime experiments to give Decay a fighting chance
+    /// once idle listening is charged.
+    pub window: Option<u64>,
 }
 
 impl DecayConfig {
-    /// Defaults: `β = 8`, early stop.
+    /// Defaults: `β = 8`, early stop, no retirement.
     pub fn new(n: usize, diameter_hint: u32) -> Self {
         DecayConfig {
             n,
             beta: 8.0,
             diameter_hint,
             early_stop: true,
+            window: None,
         }
     }
 
@@ -61,6 +67,15 @@ impl DecayConfig {
         let l = (self.n as f64).log2();
         (self.beta * (self.diameter_hint as f64 + l) * l).ceil() as u64
     }
+
+    /// The equivalent windowed-protocol spec.
+    pub fn spec(&self) -> WindowedSpec {
+        WindowedSpec {
+            source: ProbSource::Cycle(self.cycle()),
+            window: self.window,
+            early_stop: self.early_stop,
+        }
+    }
 }
 
 /// Run Decay on `graph` from `source`.
@@ -71,15 +86,10 @@ pub fn run_decay_broadcast(
     seed: u64,
 ) -> BroadcastOutcome {
     assert_eq!(graph.n(), cfg.n, "config n must match the graph");
-    let spec = WindowedSpec {
-        source: ProbSource::Cycle(cfg.cycle()),
-        window: None,
-        early_stop: cfg.early_stop,
-    };
     run_windowed(
         graph,
         source,
-        spec,
+        cfg.spec(),
         EngineConfig::with_max_rounds(cfg.max_rounds()),
         seed,
     )

@@ -235,6 +235,16 @@ impl Protocol for EeRandomBroadcast {
     fn active_count(&self) -> usize {
         self.active
     }
+
+    fn radio_off(&self, node: NodeId, _round: u64) -> bool {
+        // A passive node is done forever: it holds the message and will
+        // never transmit again, so it powers its radio down. Uninformed
+        // nodes (state `None`) must keep listening; active nodes are
+        // about to transmit. This is Algorithm 1's structural energy
+        // advantage once idle listening is charged: per-node radio-on
+        // time is bounded by (time-to-informed) + 1.
+        self.state[node as usize] == Some(NodeState::Passive)
+    }
 }
 
 /// Run Algorithm 1 on `graph` from `source`.

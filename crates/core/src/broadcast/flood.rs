@@ -22,15 +22,22 @@ pub struct FloodConfig {
     pub prob: f64,
     /// Round cap (flooding has no schedule; the cap is the only stop).
     pub max_rounds: u64,
+    /// Optional retirement: a node stops transmitting — and powers its
+    /// radio down, under energy accounting — `window` rounds after being
+    /// informed. `None` (the classic baseline) floods forever, paying
+    /// idle-listening for the whole run; a finite window is the minimal
+    /// energy-disciplined variant the paper's algorithms refine.
+    pub window: Option<u64>,
+    /// Stop the simulation at completion (the default, for time
+    /// measurements) instead of running the full `max_rounds` horizon.
+    /// Energy experiments set `false` to charge a fixed mission length.
+    pub early_stop: bool,
 }
 
 impl FloodConfig {
     /// Deterministic flooding (`q = 1`).
     pub fn naive(max_rounds: u64) -> Self {
-        FloodConfig {
-            prob: 1.0,
-            max_rounds,
-        }
+        Self::with_prob(1.0, max_rounds)
     }
 
     /// Probabilistic flooding with per-round probability `q`.
@@ -39,6 +46,26 @@ impl FloodConfig {
         FloodConfig {
             prob: q,
             max_rounds,
+            window: None,
+            early_stop: true,
+        }
+    }
+
+    /// Probabilistic flooding that retires (and sleeps) `window` rounds
+    /// after a node is informed.
+    pub fn retiring(q: f64, window: u64, max_rounds: u64) -> Self {
+        FloodConfig {
+            window: Some(window),
+            ..Self::with_prob(q, max_rounds)
+        }
+    }
+
+    /// The equivalent windowed-protocol spec.
+    pub fn spec(&self) -> WindowedSpec {
+        WindowedSpec {
+            source: ProbSource::Fixed(self.prob),
+            window: self.window,
+            early_stop: self.early_stop,
         }
     }
 }
@@ -51,15 +78,10 @@ pub fn run_flood_broadcast(
     cfg: &FloodConfig,
     seed: u64,
 ) -> BroadcastOutcome {
-    let spec = WindowedSpec {
-        source: ProbSource::Fixed(cfg.prob),
-        window: None,
-        early_stop: true,
-    };
     run_windowed(
         graph,
         source,
-        spec,
+        cfg.spec(),
         EngineConfig::with_max_rounds(cfg.max_rounds),
         seed,
     )

@@ -28,9 +28,11 @@ pub mod epoch;
 pub mod flood;
 pub mod windowed;
 
-pub use windowed::{ProbSource, WindowedBroadcast, WindowedSpec};
+pub use windowed::{
+    run_windowed, run_windowed_energy, ProbSource, WindowedBroadcast, WindowedSpec,
+};
 
-use radio_sim::{Metrics, RunResult, Trace};
+use radio_sim::{EnergyMetrics, EnergyRunResult, Metrics, RunResult, Trace};
 
 /// Outcome of a broadcast run, shared by every algorithm in this module.
 #[derive(Debug, Clone)]
@@ -52,6 +54,9 @@ pub struct BroadcastOutcome {
     pub hit_round_cap: bool,
     /// Energy accounting (per-node and total transmission counts).
     pub metrics: Metrics,
+    /// Model-based energy accounting, when the run used an energy overlay
+    /// (e.g. [`windowed::run_windowed_energy`]).
+    pub energy: Option<EnergyMetrics>,
     /// Per-round trace when requested.
     pub trace: Option<Trace>,
 }
@@ -72,8 +77,21 @@ impl BroadcastOutcome {
             rounds_executed: run.rounds,
             hit_round_cap: run.hit_round_cap,
             metrics: run.metrics,
+            energy: None,
             trace: run.trace,
         }
+    }
+
+    /// As [`BroadcastOutcome::from_run`], from an energy-overlay run.
+    pub(crate) fn from_energy_run(
+        n: usize,
+        informed: usize,
+        broadcast_time: Option<u64>,
+        run: EnergyRunResult,
+    ) -> Self {
+        let mut out = Self::from_run(n, informed, broadcast_time, run.run);
+        out.energy = Some(run.energy);
+        out
     }
 
     /// Lift this outcome into a sweep [`radio_sim::TrialResult`]:
@@ -90,6 +108,7 @@ impl BroadcastOutcome {
             total_transmissions: self.metrics.total_transmissions(),
             max_transmissions_per_node: self.max_msgs_per_node(),
             informed: self.informed,
+            energy: self.energy.as_ref().map(radio_sim::TrialEnergy::from),
             extras: Vec::new(),
         };
         if let Some(bt) = self.broadcast_time {

@@ -165,6 +165,20 @@ impl Protocol for WindowedBroadcast {
     fn active_count(&self) -> usize {
         self.active
     }
+
+    fn radio_off(&self, node: NodeId, round: u64) -> bool {
+        // A retired node (window expired) powers its radio down: it holds
+        // the message, will never transmit again, and gains nothing from
+        // listening. Nodes without a window — and all uninformed nodes,
+        // which must listen to ever be informed — keep the receiver on.
+        match self.spec.window {
+            Some(w) => {
+                let t_u = self.informed.informed_round(node);
+                t_u != u64::MAX && round > t_u + w
+            }
+            None => false,
+        }
+    }
 }
 
 /// Run a windowed broadcast and package the outcome.
@@ -179,6 +193,31 @@ pub fn run_windowed(
     let mut rng = radio_util::derive_rng(seed, b"engine", 0);
     let run = radio_sim::engine::run_protocol(graph, &mut protocol, engine_cfg, &mut rng);
     BroadcastOutcome::from_run(
+        graph.n(),
+        protocol.informed_count(),
+        protocol.broadcast_time(),
+        run,
+    )
+}
+
+/// [`run_windowed`] under an energy overlay: duties are charged to
+/// `session` (model costs, optional batteries) and the outcome carries
+/// the [`EnergyMetrics`](radio_sim::EnergyMetrics) report. With no
+/// battery attached the run itself is bit-identical to [`run_windowed`]
+/// on the same seed — the overlay never touches protocol randomness.
+pub fn run_windowed_energy(
+    graph: &DiGraph,
+    source: NodeId,
+    spec: WindowedSpec,
+    engine_cfg: EngineConfig,
+    seed: u64,
+    session: &mut radio_sim::EnergySession,
+) -> BroadcastOutcome {
+    let mut protocol = WindowedBroadcast::new(graph.n(), source, spec);
+    let mut rng = radio_util::derive_rng(seed, b"engine", 0);
+    let run =
+        radio_sim::engine::run_protocol_energy(graph, &mut protocol, engine_cfg, &mut rng, session);
+    BroadcastOutcome::from_energy_run(
         graph.n(),
         protocol.informed_count(),
         protocol.broadcast_time(),

@@ -1,0 +1,123 @@
+//! Finite per-node batteries.
+
+use radio_graph::NodeId;
+use rand::{Rng, RngExt};
+
+/// Per-node battery capacities, in the same (arbitrary) units as the
+/// energy model's costs.
+///
+/// A battery does nothing by itself — attach it to an
+/// [`EnergySession`](crate::EnergySession) and the session turns any
+/// node whose residual charge reaches zero fail-stop dead from the next
+/// round on.
+///
+/// # Examples
+///
+/// ```
+/// use radio_energy::Battery;
+///
+/// let b = Battery::uniform(4, 10.0);
+/// assert_eq!(b.n(), 4);
+/// assert_eq!(b.capacity(2), 10.0);
+///
+/// // Heterogeneous fleet: one nearly-dead node.
+/// let b = Battery::per_node(vec![10.0, 0.5, 10.0]);
+/// assert_eq!(b.capacity(1), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Battery {
+    caps: Vec<f64>,
+}
+
+impl Battery {
+    /// Every node starts with the same `capacity`.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is negative or NaN (infinite is allowed and
+    /// means "never depletes").
+    pub fn uniform(n: usize, capacity: f64) -> Self {
+        Self::per_node(vec![capacity; n])
+    }
+
+    /// Explicit per-node capacities (index = node id).
+    ///
+    /// # Panics
+    /// Panics if any capacity is negative or NaN.
+    pub fn per_node(caps: Vec<f64>) -> Self {
+        for (v, &c) in caps.iter().enumerate() {
+            assert!(
+                !c.is_nan() && c >= 0.0,
+                "node {v}: capacity {c} must be ≥ 0"
+            );
+        }
+        Battery { caps }
+    }
+
+    /// Uniform capacities jittered by a multiplicative factor drawn
+    /// uniformly from `[1 − spread, 1 + spread]` per node — a simple
+    /// manufacturing-variance fleet.
+    ///
+    /// # Panics
+    /// Panics if `spread ∉ [0, 1]` or `capacity` is invalid.
+    pub fn jittered<R: Rng + ?Sized>(n: usize, capacity: f64, spread: f64, rng: &mut R) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&spread),
+            "spread {spread} out of [0,1]"
+        );
+        Self::per_node(
+            (0..n)
+                .map(|_| capacity * rng.random_range(1.0 - spread..=1.0 + spread))
+                .collect(),
+        )
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Initial capacity of `node`.
+    pub fn capacity(&self, node: NodeId) -> f64 {
+        self.caps[node as usize]
+    }
+
+    /// All capacities (index = node id).
+    pub fn capacities(&self) -> &[f64] {
+        &self.caps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_util::derive_rng;
+
+    #[test]
+    fn uniform_and_per_node_agree() {
+        let a = Battery::uniform(3, 2.5);
+        let b = Battery::per_node(vec![2.5; 3]);
+        assert_eq!(a, b);
+        assert_eq!(a.capacities(), &[2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn infinite_capacity_is_allowed() {
+        let b = Battery::per_node(vec![f64::INFINITY, 1.0]);
+        assert_eq!(b.capacity(0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 0")]
+    fn negative_capacity_is_rejected() {
+        let _ = Battery::per_node(vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn jittered_stays_within_spread() {
+        let mut rng = derive_rng(3, b"bat", 0);
+        let b = Battery::jittered(100, 10.0, 0.2, &mut rng);
+        assert!(b.capacities().iter().all(|&c| (8.0..=12.0).contains(&c)));
+        // And actually varies.
+        assert!(b.capacities().windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,48 @@
+//! Radio energy models: duty costs, batteries, and per-run accounting.
+//!
+//! The paper measures energy as the number of *transmissions* (§1.2) —
+//! but in real ad-hoc radios idle listening costs the same order of
+//! magnitude as transmitting, and sensor nodes run off finite batteries.
+//! This crate makes the energy measure pluggable so the simulator can
+//! answer both the paper's question (with [`TxOnly`], bit-compatible
+//! with transmission counts) and the deployment questions the
+//! energy-efficiency literature asks: what does a protocol cost once
+//! receivers pay to listen ([`LinearRadio`], [`FadingRadio`]), and how
+//! long does the network live on finite [`Battery`] charge?
+//!
+//! The pieces:
+//!
+//! * [`Duty`] — what a node's radio did during one round (transmit,
+//!   receive, idle-listen, sleep), derived by the engine from each
+//!   protocol's per-round `Action` plus the delivery outcome.
+//! * [`EnergyModel`] — duty → per-round cost. [`TxOnly`] reproduces the
+//!   paper's measure exactly; [`LinearRadio`] charges configurable
+//!   tx/listen/idle/sleep costs; [`FadingRadio`] adds multiplicative
+//!   channel randomness on the radio-active duties.
+//! * [`Battery`] — finite per-node capacities. A node whose residual
+//!   charge reaches zero becomes *fail-stop dead* from the next round
+//!   on: it never transmits, receives, or pays energy again (the same
+//!   semantics as a scheduled crash, so depletion composes with the
+//!   simulator's `CrashPlan` fault injection instead of duplicating it).
+//! * [`EnergySession`] — the mutable per-run accounting object the
+//!   simulation engine drives: it charges duties on the engine's hot
+//!   path (with a passthrough fast path that makes [`TxOnly`] without
+//!   batteries cost nothing per round) and finalizes into an
+//!   [`EnergyMetrics`] report (total/max/mean energy, per-node residual
+//!   charge, first-depletion round).
+//!
+//! Determinism: randomized models draw from the session's own ChaCha8
+//! stream, derived from the session seed — never from the protocol's RNG
+//! — so enabling the energy overlay cannot perturb a run's decisions,
+//! deliveries, or round count.
+
+pub mod battery;
+pub mod model;
+pub mod session;
+
+pub use battery::Battery;
+pub use model::{Duty, EnergyModel, FadingRadio, LinearRadio, TxOnly};
+pub use session::{EnergyMetrics, EnergySession};
+
+/// Sentinel for "never depleted" in per-node depletion-round arrays.
+pub const NEVER_DEPLETED: u64 = u64::MAX;

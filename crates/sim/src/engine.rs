@@ -1,7 +1,8 @@
 //! The optimised simulation engine.
 
-use crate::metrics::{Metrics, RoundRecord, Trace};
+use crate::metrics::{EnergyMetrics, Metrics, RoundRecord, Trace};
 use crate::{Action, Protocol};
+use radio_energy::{Duty, EnergySession};
 use radio_graph::{DiGraph, NodeId};
 use rand_chacha::ChaCha8Rng;
 
@@ -77,6 +78,83 @@ pub struct RunResult {
     pub trace: Option<Trace>,
 }
 
+/// Result of one simulation run under an energy overlay
+/// ([`Engine::run_energy`] and friends): the plain [`RunResult`] plus the
+/// model-based energy report.
+#[derive(Debug, Clone)]
+pub struct EnergyRunResult {
+    /// The underlying run. With no battery attached it is bit-identical
+    /// to the same run without the overlay (energy models never touch
+    /// the protocol RNG or delivery semantics).
+    pub run: RunResult,
+    /// Model-based energy accounting (total/max/mean energy, residual
+    /// charge, depletion rounds).
+    pub energy: EnergyMetrics,
+    /// The run was stopped by the session's
+    /// [`with_halt_on_depletion`](EnergySession::with_halt_on_depletion)
+    /// request at the end of the first-depletion round.
+    pub stopped_on_depletion: bool,
+}
+
+/// Per-round energy integration point of the core loop. Monomorphized:
+/// the [`NoEnergy`] instantiation compiles to exactly the pre-energy
+/// engine (every call site is gated on the `ACTIVE` const).
+trait EnergyHook {
+    /// Whether this hook does anything at all.
+    const ACTIVE: bool;
+    /// Is `node` fail-stop dead (battery depleted before `round`)?
+    fn is_dead(&self, node: NodeId, round: u64) -> bool;
+    /// Charge `node` for `duty` in `round`.
+    fn charge(&mut self, node: NodeId, duty: Duty, round: u64);
+    /// End-of-round accounting (idle/sleep sweep); `true` requests an
+    /// engine stop (network-lifetime halt).
+    fn end_round<P: Protocol>(&mut self, round: u64, protocol: &P) -> bool;
+    /// Keep ticking (charging idle/sleep rounds) past protocol
+    /// quiescence, up to the round cap.
+    fn charge_to_cap(&self) -> bool;
+}
+
+/// The zero-cost hook used by the plain entry points.
+struct NoEnergy;
+
+impl EnergyHook for NoEnergy {
+    const ACTIVE: bool = false;
+    #[inline(always)]
+    fn is_dead(&self, _node: NodeId, _round: u64) -> bool {
+        false
+    }
+    #[inline(always)]
+    fn charge(&mut self, _node: NodeId, _duty: Duty, _round: u64) {}
+    #[inline(always)]
+    fn end_round<P: Protocol>(&mut self, _round: u64, _protocol: &P) -> bool {
+        false
+    }
+    #[inline(always)]
+    fn charge_to_cap(&self) -> bool {
+        false
+    }
+}
+
+impl EnergyHook for EnergySession {
+    const ACTIVE: bool = true;
+    #[inline]
+    fn is_dead(&self, node: NodeId, round: u64) -> bool {
+        EnergySession::is_dead(self, node, round)
+    }
+    #[inline]
+    fn charge(&mut self, node: NodeId, duty: Duty, round: u64) {
+        EnergySession::charge(self, node, duty, round);
+    }
+    fn end_round<P: Protocol>(&mut self, round: u64, protocol: &P) -> bool {
+        self.sweep_round(round, |v| protocol.radio_off(v, round));
+        self.should_halt()
+    }
+    #[inline]
+    fn charge_to_cap(&self) -> bool {
+        EnergySession::charge_to_cap(self)
+    }
+}
+
 /// Per-node round-stamped scratch, packed into one 8-byte record (eight
 /// per cache line) so the scatter loop's random access to a target costs
 /// a single line instead of three — separate `stamp`/`hit_count`/
@@ -147,6 +225,20 @@ impl<'g> Engine<'g> {
         self.run_with(|_| g, protocol, rng)
     }
 
+    /// [`Engine::run`] with an energy overlay: duties are charged to
+    /// `session` per round, battery-depleted nodes turn fail-stop dead,
+    /// and the result carries an [`EnergyMetrics`] report. The session is
+    /// reset at run start, so one session serves many runs.
+    pub fn run_energy<P: Protocol>(
+        &mut self,
+        protocol: &mut P,
+        rng: &mut ChaCha8Rng,
+        session: &mut EnergySession,
+    ) -> EnergyRunResult {
+        let g = self.graph;
+        self.run_with_energy(|_| g, protocol, rng, session)
+    }
+
     /// Core loop with a per-round topology: `pick(round)` returns the
     /// graph in force during that round. All graphs must have the same
     /// node count as the engine's sizing graph. This is the mobility
@@ -155,6 +247,51 @@ impl<'g> Engine<'g> {
     where
         F: Fn(u64) -> &'g DiGraph,
         P: Protocol,
+    {
+        self.run_core(pick, protocol, rng, &mut NoEnergy).0
+    }
+
+    /// [`Engine::run_with`] with an energy overlay — see
+    /// [`Engine::run_energy`].
+    pub fn run_with_energy<F, P>(
+        &mut self,
+        pick: F,
+        protocol: &mut P,
+        rng: &mut ChaCha8Rng,
+        session: &mut EnergySession,
+    ) -> EnergyRunResult
+    where
+        F: Fn(u64) -> &'g DiGraph,
+        P: Protocol,
+    {
+        assert_eq!(
+            session.n(),
+            self.graph.n(),
+            "energy session node count must match the graph"
+        );
+        session.begin();
+        let (run, stopped_on_depletion) = self.run_core(pick, protocol, rng, session);
+        let energy = session.finalize(run.metrics.per_node());
+        EnergyRunResult {
+            run,
+            energy,
+            stopped_on_depletion,
+        }
+    }
+
+    /// The round loop, generic over the energy hook. Returns the run and
+    /// whether the hook requested an early stop.
+    fn run_core<F, P, E>(
+        &mut self,
+        pick: F,
+        protocol: &mut P,
+        rng: &mut ChaCha8Rng,
+        hook: &mut E,
+    ) -> (RunResult, bool)
+    where
+        F: Fn(u64) -> &'g DiGraph,
+        P: Protocol,
+        E: EnergyHook,
     {
         let n = self.graph.n();
         assert!(
@@ -186,11 +323,19 @@ impl<'g> Engine<'g> {
         let mut transmitters: Vec<NodeId> = Vec::new();
         let mut rounds = 0u64;
         let mut completed = protocol.is_complete();
+        let mut halted = false;
 
         // Stop on completion, on the round cap, or when every node is
         // asleep — with no possible transmitter left, no reception can
-        // ever wake anyone, so the run has quiesced for good.
-        while !completed && rounds < self.cfg.max_rounds && awake_count > 0 {
+        // ever wake anyone, so the run has quiesced for good. A
+        // charge-to-cap energy session keeps the clock (and idle/sleep
+        // charging) running to the cap anyway: protocol state is frozen,
+        // but receivers that never powered down keep paying.
+        while !completed
+            && !halted
+            && rounds < self.cfg.max_rounds
+            && (awake_count > 0 || (E::ACTIVE && hook.charge_to_cap()))
+        {
             rounds += 1;
             let round = rounds;
             let rstamp = round as u32; // fits: max_rounds < 2³¹
@@ -211,6 +356,13 @@ impl<'g> Engine<'g> {
                 let v = awake_list[r];
                 if !is_awake[v as usize] {
                     continue; // stale entry
+                }
+                if E::ACTIVE && hook.is_dead(v, round) {
+                    // Battery ran out in an earlier round: fail-stop, off
+                    // the poll list for good (a dead node can't be woken).
+                    is_awake[v as usize] = false;
+                    awake_count -= 1;
+                    continue;
                 }
                 match protocol.decide(v, round, rng) {
                     Action::Silent => {
@@ -239,6 +391,9 @@ impl<'g> Engine<'g> {
             self.touched.clear();
             for &u in &transmitters {
                 metrics.record_transmission(u);
+                if E::ACTIVE {
+                    hook.charge(u, Duty::Transmit, round);
+                }
                 let ui = u as usize;
                 let row = out_offsets[ui] as usize..out_offsets[ui + 1] as usize;
                 for &v in &out_neighbors[row] {
@@ -272,33 +427,40 @@ impl<'g> Engine<'g> {
             let mut first_receptions = 0u64;
             if !transmitters.is_empty() {
                 let dense = self.touched.len() >= n / 8;
-                let mut deliver_to = |v: NodeId, protocol: &mut P, rng: &mut ChaCha8Rng| {
-                    let vi = v as usize;
-                    let h = self.hits[vi];
-                    if h.stamp != hit_once {
-                        return; // collision at v (or stale record)
-                    }
-                    if self.cfg.half_duplex && self.sent[vi] == rstamp {
-                        return; // v's own radio was busy transmitting
-                    }
-                    let from = h.source;
-                    let msg = protocol.payload(from, round);
-                    let informed_before = protocol.informed_count();
-                    protocol.on_receive(v, from, round, &msg, rng);
-                    deliveries += 1;
-                    if protocol.informed_count() > informed_before {
-                        first_receptions += 1;
-                    }
-                    if !is_awake[vi] {
-                        is_awake[vi] = true;
-                        awake_count += 1;
-                        awake_list.push(v);
-                    }
-                };
+                let mut deliver_to =
+                    |v: NodeId, protocol: &mut P, rng: &mut ChaCha8Rng, hook: &mut E| {
+                        let vi = v as usize;
+                        let h = self.hits[vi];
+                        if h.stamp != hit_once {
+                            return; // collision at v (or stale record)
+                        }
+                        if self.cfg.half_duplex && self.sent[vi] == rstamp {
+                            return; // v's own radio was busy transmitting
+                        }
+                        if E::ACTIVE && hook.is_dead(v, round) {
+                            return; // a depleted radio hears nothing
+                        }
+                        let from = h.source;
+                        let msg = protocol.payload(from, round);
+                        let informed_before = protocol.informed_count();
+                        if E::ACTIVE {
+                            hook.charge(v, Duty::Receive, round);
+                        }
+                        protocol.on_receive(v, from, round, &msg, rng);
+                        deliveries += 1;
+                        if protocol.informed_count() > informed_before {
+                            first_receptions += 1;
+                        }
+                        if !is_awake[vi] {
+                            is_awake[vi] = true;
+                            awake_count += 1;
+                            awake_list.push(v);
+                        }
+                    };
                 if dense {
                     for v in 0..n as NodeId {
                         if self.hits[v as usize].stamp | 1 == hit_many {
-                            deliver_to(v, protocol, rng);
+                            deliver_to(v, protocol, rng, hook);
                         }
                     }
                 } else {
@@ -306,9 +468,16 @@ impl<'g> Engine<'g> {
                     // for the ascending receiver order.
                     self.touched.sort_unstable();
                     for i in 0..self.touched.len() {
-                        deliver_to(self.touched[i], protocol, rng);
+                        deliver_to(self.touched[i], protocol, rng, hook);
                     }
                 }
+            }
+
+            // End-of-round energy: nodes not charged above pay idle
+            // (receiver on) or sleep (protocol declared the radio off) —
+            // and a network-lifetime session may request a stop here.
+            if E::ACTIVE && hook.end_round(round, protocol) {
+                halted = true;
             }
 
             completed = protocol.is_complete();
@@ -338,13 +507,16 @@ impl<'g> Engine<'g> {
                 n
             );
         }
-        RunResult {
-            rounds,
-            completed,
-            hit_round_cap,
-            metrics,
-            trace,
-        }
+        (
+            RunResult {
+                rounds,
+                completed,
+                hit_round_cap,
+                metrics,
+                trace,
+            },
+            halted,
+        )
     }
 }
 
@@ -356,6 +528,18 @@ pub fn run_protocol<P: Protocol>(
     rng: &mut ChaCha8Rng,
 ) -> RunResult {
     Engine::new(graph, cfg).run(protocol, rng)
+}
+
+/// One-shot convenience with an energy overlay: build an engine, run
+/// once against `session` — see [`Engine::run_energy`].
+pub fn run_protocol_energy<P: Protocol>(
+    graph: &DiGraph,
+    protocol: &mut P,
+    cfg: EngineConfig,
+    rng: &mut ChaCha8Rng,
+    session: &mut EnergySession,
+) -> EnergyRunResult {
+    Engine::new(graph, cfg).run_energy(protocol, rng, session)
 }
 
 /// Run on a *changing topology*: the network uses `graphs[k]` during
@@ -375,6 +559,30 @@ pub fn run_dynamic<P: Protocol>(
     cfg: EngineConfig,
     rng: &mut ChaCha8Rng,
 ) -> RunResult {
+    let pick = dynamic_schedule(graphs, switch_every);
+    Engine::new(graphs[0], cfg).run_with(pick, protocol, rng)
+}
+
+/// [`run_dynamic`] with an energy overlay — mobility plus batteries/duty
+/// costs in one run. Same panics as [`run_dynamic`].
+pub fn run_dynamic_energy<P: Protocol>(
+    graphs: &[&DiGraph],
+    switch_every: u64,
+    protocol: &mut P,
+    cfg: EngineConfig,
+    rng: &mut ChaCha8Rng,
+    session: &mut EnergySession,
+) -> EnergyRunResult {
+    let pick = dynamic_schedule(graphs, switch_every);
+    Engine::new(graphs[0], cfg).run_with_energy(pick, protocol, rng, session)
+}
+
+/// Validate a snapshot sequence and build the round → topology map
+/// shared by [`run_dynamic`] and [`run_dynamic_energy`].
+fn dynamic_schedule<'a>(
+    graphs: &'a [&'a DiGraph],
+    switch_every: u64,
+) -> impl Fn(u64) -> &'a DiGraph {
     assert!(!graphs.is_empty(), "need at least one topology snapshot");
     assert!(switch_every > 0, "switch_every must be positive");
     let n = graphs[0].n();
@@ -382,15 +590,10 @@ pub fn run_dynamic<P: Protocol>(
         graphs.iter().all(|g| g.n() == n),
         "all topology snapshots must have the same node count"
     );
-    let mut engine = Engine::new(graphs[0], cfg);
-    engine.run_with(
-        |round| {
-            let idx = ((round - 1) / switch_every) as usize;
-            graphs[idx.min(graphs.len() - 1)]
-        },
-        protocol,
-        rng,
-    )
+    move |round| {
+        let idx = ((round - 1) / switch_every) as usize;
+        graphs[idx.min(graphs.len() - 1)]
+    }
 }
 
 #[cfg(test)]
@@ -839,6 +1042,254 @@ mod tests {
             super::run_dynamic(&[&g], 5, &mut p, EngineConfig::default(), &mut rng).rounds
         };
         assert_eq!(run_static, run_dyn);
+    }
+
+    #[test]
+    fn txonly_overlay_is_a_passthrough() {
+        // Same seed with and without the overlay: identical run, and the
+        // reported energy is exactly the transmission counts.
+        let g = path(10);
+        let plain = {
+            let mut p = Flood::new(10, 0);
+            let mut rng = derive_rng(20, b"eng", 0);
+            run_protocol(&g, &mut p, EngineConfig::default(), &mut rng)
+        };
+        let mut p = Flood::new(10, 0);
+        let mut rng = derive_rng(20, b"eng", 0);
+        let mut session = radio_energy::EnergySession::new(10, radio_energy::TxOnly, 1);
+        let res = run_protocol_energy(&g, &mut p, EngineConfig::default(), &mut rng, &mut session);
+        assert_eq!(res.run.rounds, plain.rounds);
+        assert_eq!(res.run.metrics, plain.metrics);
+        assert!(!res.stopped_on_depletion);
+        assert_eq!(
+            res.energy.total_energy(),
+            plain.metrics.total_transmissions() as f64
+        );
+        let per_node: Vec<f64> = plain.metrics.per_node().iter().map(|&c| c as f64).collect();
+        assert_eq!(res.energy.spent, per_node);
+    }
+
+    #[test]
+    fn linear_overlay_charges_listening_nodes_every_round() {
+        // FloodOnce on a path: each node transmits once then engine-sleeps,
+        // but its receiver stays on (radio_off defaults to false), so under
+        // listen-ratio 1 every live node pays 1 unit every round: total
+        // energy = n · rounds regardless of duty mix.
+        let g = path(6);
+        let mut p = FloodOnce::new(6, 0);
+        let mut rng = derive_rng(21, b"eng", 0);
+        let mut session = radio_energy::EnergySession::new(
+            6,
+            radio_energy::LinearRadio::with_listen_ratio(1.0),
+            2,
+        );
+        let res = run_protocol_energy(&g, &mut p, EngineConfig::default(), &mut rng, &mut session);
+        assert!(res.run.completed);
+        let expected = 6.0 * res.run.rounds as f64;
+        assert!(
+            (res.energy.total_energy() - expected).abs() < 1e-9,
+            "total {} != n·rounds {expected}",
+            res.energy.total_energy()
+        );
+    }
+
+    #[test]
+    fn radio_off_hint_switches_idle_to_sleep_cost() {
+        /// FloodOnce whose nodes declare the radio off once they have sent.
+        struct DutyCycled {
+            inner: FloodOnce,
+        }
+        impl Protocol for DutyCycled {
+            type Msg = ();
+            fn initially_awake(&self) -> Vec<NodeId> {
+                self.inner.initially_awake()
+            }
+            fn decide(&mut self, n: NodeId, r: u64, rng: &mut ChaCha8Rng) -> Action {
+                self.inner.decide(n, r, rng)
+            }
+            fn payload(&self, _n: NodeId, _r: u64) -> Self::Msg {}
+            fn on_receive(
+                &mut self,
+                n: NodeId,
+                f: NodeId,
+                r: u64,
+                m: &Self::Msg,
+                rng: &mut ChaCha8Rng,
+            ) {
+                self.inner.on_receive(n, f, r, m, rng);
+            }
+            fn is_complete(&self) -> bool {
+                self.inner.is_complete()
+            }
+            fn informed_count(&self) -> usize {
+                self.inner.informed_count()
+            }
+            fn active_count(&self) -> usize {
+                self.inner.active_count()
+            }
+            fn radio_off(&self, node: NodeId, _round: u64) -> bool {
+                self.inner.sent[node as usize]
+            }
+        }
+
+        let g = path(6);
+        let model = radio_energy::LinearRadio::new(1.0, 1.0, 1.0, 0.0);
+        let run_total = |duty_cycled: bool| {
+            let mut rng = derive_rng(22, b"eng", 0);
+            let mut session = radio_energy::EnergySession::new(6, model, 3);
+            if duty_cycled {
+                let mut p = DutyCycled {
+                    inner: FloodOnce::new(6, 0),
+                };
+                run_protocol_energy(&g, &mut p, EngineConfig::default(), &mut rng, &mut session)
+                    .energy
+                    .total_energy()
+            } else {
+                let mut p = FloodOnce::new(6, 0);
+                run_protocol_energy(&g, &mut p, EngineConfig::default(), &mut rng, &mut session)
+                    .energy
+                    .total_energy()
+            }
+        };
+        let always_on = run_total(false);
+        let cycled = run_total(true);
+        assert!(
+            cycled < always_on,
+            "sleep cost 0 must beat idle listening: {cycled} vs {always_on}"
+        );
+    }
+
+    #[test]
+    fn battery_depletion_is_fail_stop_mid_path() {
+        // Unit drain, node 2's battery lasts exactly 1 round: it dies at
+        // the end of round 1, before the frontier (round 2: node 1 sends)
+        // reaches it — the message can never pass node 2.
+        let g = path(5);
+        let mut caps = vec![f64::INFINITY; 5];
+        caps[2] = 1.0;
+        let mut p = Flood::new(5, 0);
+        let mut rng = derive_rng(23, b"eng", 0);
+        let mut session =
+            radio_energy::EnergySession::new(5, radio_energy::LinearRadio::uniform_drain(1.0), 4)
+                .with_battery(radio_energy::Battery::per_node(caps));
+        let res = run_protocol_energy(
+            &g,
+            &mut p,
+            EngineConfig::with_max_rounds(50),
+            &mut rng,
+            &mut session,
+        );
+        assert!(!res.run.completed);
+        assert!(p.informed[1]);
+        assert!(!p.informed[2], "depleted node must not learn");
+        assert!(!p.informed[3], "message cannot pass the dead relay");
+        assert_eq!(res.energy.first_depletion_round, Some(1));
+        assert_eq!(res.energy.depleted_nodes(), vec![2]);
+        assert_eq!(res.energy.residual_charge(2), Some(0.0));
+    }
+
+    #[test]
+    fn halt_on_depletion_stops_at_first_death() {
+        let g = path(8);
+        let mut p = Flood::new(8, 0);
+        let mut rng = derive_rng(24, b"eng", 0);
+        // Uniform capacity 3 under unit drain: every battery dies at the
+        // end of round 3; the lifetime run must stop right there.
+        let mut session =
+            radio_energy::EnergySession::new(8, radio_energy::LinearRadio::uniform_drain(1.0), 5)
+                .with_battery(radio_energy::Battery::uniform(8, 3.0))
+                .with_halt_on_depletion(true);
+        let res = run_protocol_energy(
+            &g,
+            &mut p,
+            EngineConfig::with_max_rounds(100),
+            &mut rng,
+            &mut session,
+        );
+        assert!(res.stopped_on_depletion);
+        assert_eq!(res.run.rounds, 3);
+        assert_eq!(res.energy.first_depletion_round, Some(3));
+        assert!(!res.run.hit_round_cap);
+    }
+
+    #[test]
+    fn charge_to_cap_keeps_charging_after_quiescence() {
+        // 0 → 2 and 1 → 2, both sources send exactly once (colliding at
+        // node 2) and then engine-sleep: the run quiesces at round 2 with
+        // node 2 forever uninformed — but every radio is still powered
+        // (radio_off defaults to false). Default sessions stop charging
+        // there; charge-to-cap sessions pay idle up to the round cap.
+        let g = DiGraph::from_edges(3, &[(0, 2), (1, 2)]);
+        let cap = 10u64;
+        let run_total = |charge_to_cap: bool| {
+            let mut p = FloodOnce::new(3, 0);
+            p.inner.informed[1] = true;
+            p.inner.n_informed = 2;
+            let mut rng = derive_rng(27, b"eng", 0);
+            let mut session = radio_energy::EnergySession::new(
+                3,
+                radio_energy::LinearRadio::uniform_drain(1.0),
+                8,
+            )
+            .with_charge_to_cap(charge_to_cap);
+            let res = run_protocol_energy(
+                &g,
+                &mut p,
+                EngineConfig::with_max_rounds(cap),
+                &mut rng,
+                &mut session,
+            );
+            (res.run.rounds, res.energy.total_energy())
+        };
+        let (rounds_default, energy_default) = run_total(false);
+        assert_eq!(rounds_default, 2, "run quiesces before the cap");
+        assert_eq!(energy_default, 3.0 * 2.0);
+        let (rounds_cap, energy_cap) = run_total(true);
+        assert_eq!(rounds_cap, cap, "charge-to-cap runs the full horizon");
+        assert_eq!(energy_cap, 3.0 * cap as f64);
+    }
+
+    #[test]
+    fn network_death_quiesces_the_run() {
+        // Everyone's battery dies at the end of round 2; with no live
+        // node left the engine must stop on its own, well before the cap.
+        let g = path(4);
+        let mut p = Flood::new(4, 0);
+        let mut rng = derive_rng(25, b"eng", 0);
+        let mut session =
+            radio_energy::EnergySession::new(4, radio_energy::LinearRadio::uniform_drain(1.0), 6)
+                .with_battery(radio_energy::Battery::uniform(4, 2.0));
+        let res = run_protocol_energy(
+            &g,
+            &mut p,
+            EngineConfig::with_max_rounds(1000),
+            &mut rng,
+            &mut session,
+        );
+        assert!(!res.run.completed);
+        assert!(res.run.rounds <= 4, "dead network must quiesce");
+        assert_eq!(res.energy.depleted_count(), 4);
+    }
+
+    #[test]
+    fn energy_session_reuse_across_runs_is_deterministic() {
+        let g = path(8);
+        let mut eng = Engine::new(&g, EngineConfig::default());
+        let mut session = radio_energy::EnergySession::new(
+            8,
+            radio_energy::FadingRadio::new(radio_energy::LinearRadio::with_listen_ratio(0.5)),
+            7,
+        );
+        let mut totals = Vec::new();
+        for _ in 0..3 {
+            let mut p = Flood::new(8, 0);
+            let mut rng = derive_rng(26, b"eng", 0);
+            let res = eng.run_energy(&mut p, &mut rng, &mut session);
+            assert!(res.run.completed);
+            totals.push(res.energy.total_energy());
+        }
+        assert_eq!(totals[0], totals[1]);
+        assert_eq!(totals[1], totals[2]);
     }
 
     #[test]

@@ -73,6 +73,23 @@ impl CrashPlan {
     pub fn crash_count(&self) -> usize {
         self.crash_at.iter().filter(|c| c.is_some()).count()
     }
+
+    /// Number of *distinct* nodes failed by the end of `round`, merging
+    /// this plan's scheduled crashes with battery depletions:
+    /// `depleted_at` is the per-node depletion-round array of an
+    /// [`EnergyMetrics`](crate::EnergyMetrics) (`u64::MAX` = alive; pass
+    /// `&[]` for runs without batteries). A node that both crashes and
+    /// depletes — in the same round or otherwise — is counted exactly
+    /// once, which is what sweep summaries must report when the two fault
+    /// paths overlap.
+    pub fn failed_by(&self, round: u64, depleted_at: &[u64]) -> usize {
+        (0..self.crash_at.len())
+            .filter(|&v| {
+                matches!(self.crash_at[v], Some(r) if r <= round)
+                    || depleted_at.get(v).is_some_and(|&r| r <= round)
+            })
+            .count()
+    }
 }
 
 /// Protocol adapter injecting fail-stop crashes.
@@ -142,6 +159,12 @@ impl<P: Protocol> Protocol for Faulty<P> {
     fn active_count(&self) -> usize {
         self.inner.active_count()
     }
+
+    fn radio_off(&self, node: NodeId, round: u64) -> bool {
+        // A crashed radio is powered down for good; otherwise defer to
+        // the wrapped protocol's duty-cycling.
+        self.plan.is_crashed(node, round) || self.inner.radio_off(node, round)
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +228,26 @@ mod tests {
         assert!(plan.is_crashed(4, 100));
         assert_eq!(plan.survivors(), vec![0, 1, 3]);
         assert_eq!(plan.crash_count(), 2);
+    }
+
+    #[test]
+    fn crash_and_depletion_in_the_same_round_count_once() {
+        // Regression: sweep summaries report *distinct* failed nodes.
+        // Node 2 crashes at round 3 AND its battery depletes in round 3;
+        // node 4 only crashes; node 1 only depletes. `u64::MAX` = alive.
+        let plan = CrashPlan::none(5).crash(2, 3).crash(4, 3);
+        let depleted_at = [u64::MAX, 3, 3, u64::MAX, u64::MAX];
+        assert_eq!(
+            plan.failed_by(3, &depleted_at),
+            3,
+            "nodes 1, 2, 4 — the doubly-failed node 2 must not count twice"
+        );
+        // Before anything fails, the union is empty.
+        assert_eq!(plan.failed_by(2, &depleted_at), 0);
+        // Depletion-only accounting (no crash plan overlap).
+        assert_eq!(CrashPlan::none(5).failed_by(10, &depleted_at), 2);
+        // No batteries: an empty depletion array is legal.
+        assert_eq!(plan.failed_by(10, &[]), 2);
     }
 
     #[test]

@@ -33,6 +33,18 @@
 //! ChaCha8 streams, and deterministic JSON reports under `results/`.
 //! [`trials::parallel_trials`] remains as the low-level free-form
 //! fan-out underneath it.
+//!
+//! The paper's transmissions-only energy measure generalises through the
+//! [`energy`] overlay (`radio-energy`): the `*_energy` entry points
+//! ([`Engine::run_energy`], [`run_protocol_energy`],
+//! [`run_dynamic_energy`]) charge a pluggable [`EnergyModel`] per round
+//! (transmit / receive / idle-listen / sleep, with the sleep state driven
+//! by [`Protocol::radio_off`]), optionally drain finite [`Battery`]
+//! capacities whose depletion turns nodes fail-stop dead (composing with
+//! [`fault::CrashPlan`] semantics), and report [`EnergyMetrics`]
+//! alongside the usual [`Metrics`]. With the default `TxOnly` model the
+//! overlay is a passthrough: per-round charging is skipped and reported
+//! energy equals the transmission counts bit-for-bit.
 
 pub mod baseline;
 pub mod engine;
@@ -42,11 +54,24 @@ pub mod reference;
 pub mod sweep;
 pub mod trials;
 
+/// The pluggable energy subsystem (`radio-energy`), re-exported: duty
+/// states, energy models, batteries, and the per-run accounting session
+/// the engine's `*_energy` entry points drive.
+pub use radio_energy as energy;
+
 pub use baseline::{run_adjlist, AdjListGraph};
-pub use engine::{run_dynamic, Engine, EngineConfig, RunResult};
+pub use engine::{
+    run_dynamic, run_dynamic_energy, run_protocol_energy, EnergyRunResult, Engine, EngineConfig,
+    RunResult,
+};
 pub use fault::{CrashPlan, Faulty};
-pub use metrics::{Metrics, RoundRecord, Trace};
-pub use sweep::{CellResults, CellSummary, Sweep, SweepCell, SweepReport, TrialResult};
+pub use metrics::{EnergyMetrics, Metrics, RoundRecord, Trace};
+pub use radio_energy::{
+    Battery, Duty, EnergyModel, EnergySession, FadingRadio, LinearRadio, TxOnly,
+};
+pub use sweep::{
+    CellResults, CellSummary, Sweep, SweepCell, SweepReport, TrialEnergy, TrialResult,
+};
 pub use trials::parallel_trials;
 
 use rand_chacha::ChaCha8Rng;
@@ -109,4 +134,26 @@ pub trait Protocol {
     /// Number of *active* nodes (informed and still willing to transmit) —
     /// the paper's `|Uₜ|`. Used for the Lemma 2.3/2.4 growth traces.
     fn active_count(&self) -> usize;
+
+    /// Energy-accounting hint: is `node`'s radio powered **off** in
+    /// `round`?
+    ///
+    /// The engine's awake list is a polling optimisation, not a radio
+    /// state — a node off the poll list still has its receiver on (a
+    /// later reception wakes it) and therefore pays idle-listening cost
+    /// under a non-tx-only [`radio_energy::EnergyModel`]. Protocols whose
+    /// nodes genuinely power down — a retired windowed node, a passive
+    /// Algorithm-1 node that already transmitted, a crashed node — can
+    /// override this so the energy overlay charges sleep cost instead.
+    ///
+    /// The hint affects **energy accounting only**: delivery semantics
+    /// are unchanged either way (think of it as a low-power wake-radio
+    /// paging channel), so runs stay bit-identical with and without the
+    /// overlay, and the frozen reference/baseline oracles remain valid.
+    /// The default — radio always on — is the physically conservative
+    /// choice and the correct one for any protocol that may still need
+    /// to receive.
+    fn radio_off(&self, _node: NodeId, _round: u64) -> bool {
+        false
+    }
 }

@@ -6,6 +6,16 @@
 //! per-round quantities that the §2 analysis reasons about — `|Qₜ|`
 //! (transmitters), newly informed nodes, and the protocol-reported
 //! `|Uₜ|` (active set).
+//!
+//! Model-based accounting — total/max/mean *energy* under a pluggable
+//! [`radio_energy::EnergyModel`], per-node residual battery charge, and
+//! the first-depletion round — lives in [`EnergyMetrics`] (re-exported
+//! here from `radio-energy`), attached to energy-overlay runs via
+//! [`EnergyRunResult`](crate::engine::EnergyRunResult). Under the
+//! `TxOnly` model its totals coincide exactly with
+//! [`Metrics::total_transmissions`].
+
+pub use radio_energy::EnergyMetrics;
 
 /// Per-run energy and duration accounting.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -74,8 +74,36 @@ pub struct TrialResult {
     pub max_transmissions_per_node: u32,
     /// Nodes informed when the run ended.
     pub informed: usize,
+    /// Model-based energy accounting, when the trial ran with an energy
+    /// overlay ([`crate::EnergyRunResult`]).
+    pub energy: Option<TrialEnergy>,
     /// Named experiment-specific scalars.
     pub extras: Vec<(String, f64)>,
+}
+
+/// The per-trial energy scalars aggregated by [`CellSummary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialEnergy {
+    /// Total model-based energy across all nodes.
+    pub total: f64,
+    /// Maximum energy spent by any single node.
+    pub max_per_node: f64,
+    /// First battery-depletion round (the network lifetime), if any
+    /// battery depleted.
+    pub first_depletion_round: Option<u64>,
+    /// Number of battery-depleted nodes when the run ended.
+    pub depleted: usize,
+}
+
+impl From<&crate::EnergyMetrics> for TrialEnergy {
+    fn from(m: &crate::EnergyMetrics) -> Self {
+        TrialEnergy {
+            total: m.total_energy(),
+            max_per_node: m.max_energy_per_node(),
+            first_depletion_round: m.first_depletion_round,
+            depleted: m.depleted_count(),
+        }
+    }
 }
 
 impl TrialResult {
@@ -89,8 +117,21 @@ impl TrialResult {
             total_transmissions: run.metrics.total_transmissions(),
             max_transmissions_per_node: run.metrics.max_transmissions_per_node(),
             informed,
+            energy: None,
             extras: Vec::new(),
         }
+    }
+
+    /// Lift an energy-overlay run ([`crate::EnergyRunResult`]) into a
+    /// trial row, energy scalars included.
+    pub fn from_energy_run(run: &crate::EnergyRunResult, success: bool, informed: usize) -> Self {
+        Self::from_run(&run.run, success, informed).with_energy(&run.energy)
+    }
+
+    /// Attach energy scalars (chainable).
+    pub fn with_energy(mut self, energy: &crate::EnergyMetrics) -> Self {
+        self.energy = Some(TrialEnergy::from(energy));
+        self
     }
 
     /// Attach a named scalar (chainable).
@@ -134,6 +175,18 @@ pub struct CellSummary {
     pub total_transmissions: Option<SummaryStats>,
     /// Max per-node transmissions over all trials.
     pub max_transmissions_per_node: u32,
+    /// Model-based total energy over the trials that ran with an energy
+    /// overlay (`None` when none did).
+    pub energy_total: Option<SummaryStats>,
+    /// Model-based max per-node energy over energy-overlay trials.
+    pub energy_max_per_node: Option<SummaryStats>,
+    /// Network lifetime (first battery-depletion round) over the trials
+    /// in which some battery depleted. Its `n` being smaller than the
+    /// energy-trial count means the remaining runs ended with every
+    /// battery still alive.
+    pub lifetime: Option<SummaryStats>,
+    /// Battery-depleted node counts over energy-overlay trials.
+    pub depleted_nodes: Option<SummaryStats>,
     /// Per-key stats over the trials that reported each extra, in
     /// first-seen order.
     pub extras: Vec<(String, SummaryStats)>,
@@ -143,6 +196,7 @@ impl CellSummary {
     fn from_results(results: &CellResults) -> Self {
         let ts = &results.trials;
         let stats = |xs: Vec<f64>| (!xs.is_empty()).then(|| SummaryStats::from_slice(&xs));
+        let energy: Vec<&TrialEnergy> = ts.iter().filter_map(|t| t.energy.as_ref()).collect();
         let mut extra_keys: Vec<String> = Vec::new();
         for t in ts {
             for (k, _) in &t.extras {
@@ -187,6 +241,15 @@ impl CellSummary {
                 .map(|t| t.max_transmissions_per_node)
                 .max()
                 .unwrap_or(0),
+            energy_total: stats(energy.iter().map(|e| e.total).collect()),
+            energy_max_per_node: stats(energy.iter().map(|e| e.max_per_node).collect()),
+            lifetime: stats(
+                energy
+                    .iter()
+                    .filter_map(|e| e.first_depletion_round.map(|r| r as f64))
+                    .collect(),
+            ),
+            depleted_nodes: stats(energy.iter().map(|e| e.depleted as f64).collect()),
             extras,
         }
     }
@@ -397,6 +460,13 @@ impl SweepReport {
                         "max_transmissions_per_node",
                         Json::Num(c.max_transmissions_per_node as f64),
                     ),
+                    ("energy_total", opt_stats_json(&c.energy_total)),
+                    (
+                        "energy_max_per_node",
+                        opt_stats_json(&c.energy_max_per_node),
+                    ),
+                    ("lifetime", opt_stats_json(&c.lifetime)),
+                    ("depleted_nodes", opt_stats_json(&c.depleted_nodes)),
                     (
                         "extras",
                         Json::Obj(

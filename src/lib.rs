@@ -13,6 +13,11 @@
 //!   random geometric graphs).
 //! * [`sim`] — the round-synchronous radio-model simulation engine with
 //!   the paper's collision rule and full energy accounting.
+//! * [`energy`] — the pluggable energy subsystem: duty-state models
+//!   (`TxOnly` = the paper's transmissions-only measure, `LinearRadio`
+//!   with listen/idle/sleep costs, `FadingRadio` channel randomness),
+//!   finite per-node batteries with fail-stop depletion, and network
+//!   lifetime accounting.
 //! * [`core`] — the paper's algorithms (Algorithms 1–3), its `α`
 //!   transmission distribution, the baselines it compares against
 //!   (Elsässer–Gasieniec, Czumaj–Rytter, BGI Decay, flooding), and the
@@ -41,6 +46,7 @@
 //! ```
 
 pub use radio_core as core;
+pub use radio_energy as energy;
 pub use radio_graph as graph;
 pub use radio_sim as sim;
 pub use radio_stats as stats;
@@ -51,7 +57,7 @@ pub use radio_util as util;
 /// variable (default 1, i.e. full size).
 ///
 /// The examples double as integration smoke tests
-/// (`tests/examples_smoke.rs` runs all six with `s = 8` and a fixed
+/// (`tests/examples_smoke.rs` runs all seven with `s = 8` and a fixed
 /// seed); this keeps the demo sizes honest for humans while letting the
 /// test suite run them at toy sizes.
 pub fn example_scale(default: usize, min: usize) -> usize {
@@ -94,13 +100,17 @@ pub mod prelude {
     };
     pub use radio_core::params::{general_time_scale, lambda, GnpParams};
     pub use radio_core::seq::{AlphaKind, KDistribution, TransmitDistribution};
+    pub use radio_energy::{
+        Battery, Duty, EnergyMetrics, EnergyModel, EnergySession, FadingRadio, LinearRadio, TxOnly,
+    };
     pub use radio_graph::generate::*;
     pub use radio_graph::{
         induced_subgraph, largest_scc, strongly_connected_components, DiGraph, NodeId, Subgraph,
     };
     pub use radio_sim::{
-        run_dynamic, CrashPlan, Engine, EngineConfig, Faulty, Metrics, Protocol, Sweep, SweepCell,
-        SweepReport, TrialResult,
+        run_dynamic, run_dynamic_energy, run_protocol_energy, CrashPlan, EnergyRunResult, Engine,
+        EngineConfig, Faulty, Metrics, Protocol, Sweep, SweepCell, SweepReport, TrialEnergy,
+        TrialResult,
     };
     pub use radio_stats::{mean, quantile, LinearFit, SummaryStats};
     pub use radio_util::{derive_rng, BitSet, Json, SeedSequence, TextTable};

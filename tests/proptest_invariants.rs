@@ -39,8 +39,11 @@ proptest! {
         seed in 0u64..1_000_000,
     ) {
         let g = gnp_undirected(n, (4.0 / n as f64).min(0.9), &mut derive_rng(seed, b"prop-g", 1));
-        let out = run_flood_broadcast(&g, 0, &FloodConfig { prob: q, max_rounds: 300 }, seed);
-        let _ = window;
+        let cfg = match window {
+            Some(w) => FloodConfig::retiring(q, w, 300),
+            None => FloodConfig::with_prob(q, 300),
+        };
+        let out = run_flood_broadcast(&g, 0, &cfg, seed);
         prop_assert!(out.informed >= 1, "source is always informed");
         prop_assert!(out.informed <= n);
         prop_assert_eq!(out.all_informed, out.informed == n);
