@@ -14,13 +14,15 @@
 //! overlay attached — `txonly` exercises the passthrough fast path
 //! (contractually near-zero overhead vs `engine_csr`), `linear` the full
 //! per-round duty charging — so the CI gate also pins the overlay's
-//! overhead on the CSR hot path.
+//! overhead on the CSR hot path. The `engine_par` group runs it through
+//! the intra-run parallel scatter at 2 and 8 receiver-range workers
+//! (`run_protocol_par`), gating the parallel path's cost the same way.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use radio_energy::{EnergySession, LinearRadio, TxOnly};
 use radio_graph::generate::gnp_directed;
 use radio_graph::{DiGraph, NodeId};
-use radio_sim::engine::{run_protocol, run_protocol_energy};
+use radio_sim::engine::{run_protocol, run_protocol_energy, run_protocol_par};
 use radio_sim::{run_adjlist, Action, AdjListGraph, EngineConfig, Protocol};
 use radio_util::derive_rng;
 use rand_chacha::ChaCha8Rng;
@@ -106,6 +108,31 @@ fn bench_engine_adjlist(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_par(c: &mut Criterion) {
+    // The same storm through the intra-run parallel scatter
+    // (receiver-range partition, bit-identical to `engine_csr/gnp` by
+    // the engine's determinism contract) at 2 and 8 workers. On a
+    // multi-core box this is where the scatter's random `HitRecord`
+    // writes — the dominant cost at scale — spread across cores; on a
+    // single-core runner it instead pins the partition overhead
+    // (duplicate row binary-searches plus scoped-thread spawns), which
+    // the CI gate keeps from regressing either way.
+    let mut group = c.benchmark_group("engine_par");
+    group.sample_size(10);
+    let g = storm_graph(N);
+    group.throughput(Throughput::Elements(g.m() as u64 * ROUNDS));
+    for threads in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::new(format!("{threads}t"), N), &g, |b, g| {
+            b.iter(|| {
+                let mut p = Storm { n: N };
+                let mut rng = derive_rng(1, b"csr-bench", 0);
+                black_box(run_protocol_par(g, &mut p, cfg(), &mut rng, threads))
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_engine_energy(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_energy");
     group.sample_size(10);
@@ -148,6 +175,7 @@ criterion_group!(
     benches,
     bench_engine_csr,
     bench_engine_adjlist,
+    bench_engine_par,
     bench_engine_energy
 );
 criterion_main!(benches);

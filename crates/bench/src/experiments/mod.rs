@@ -17,6 +17,7 @@ pub mod e14_ablations;
 pub mod e15_geometric;
 pub mod e16_robustness;
 pub mod e17_energy_lifetime;
+pub mod e18_scale;
 
 use crate::{Ctx, Report};
 
@@ -43,5 +44,6 @@ pub fn registry() -> Vec<(&'static str, Runner)> {
         ("e15", e15_geometric::run),
         ("e16", e16_robustness::run),
         ("e17", e17_energy_lifetime::run),
+        ("e18", e18_scale::run),
     ]
 }

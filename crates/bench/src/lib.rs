@@ -1,6 +1,6 @@
 //! Benchmark and experiment harness for the `adhoc-radio` reproduction.
 //!
-//! Every table and figure of the paper maps to an experiment `E1..E16`
+//! Every table and figure of the paper maps to an experiment `E1..E18`
 //! (see `DESIGN.md` §5 for the index). The [`experiments`] modules
 //! regenerate them; run
 //!

@@ -6,6 +6,7 @@
 //! name says otherwise, matching the intuition of identical communication
 //! ranges; the paper's algorithms never assume symmetry.
 
+use crate::generate::edge_capacity;
 use crate::{DiGraph, GraphBuilder, NodeId};
 
 /// Path `0 — 1 — … — n−1` with mutual edges. Diameter `n − 1`.
@@ -40,7 +41,10 @@ pub fn star(n: usize) -> DiGraph {
 
 /// Complete graph (every pair mutual). Diameter 1.
 pub fn complete(n: usize) -> DiGraph {
-    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1));
+    // The exact count is n·(n−1), but funnel it through the shared clamp
+    // anyway: `n * (n−1)` overflows usize for absurd n, and a quadratic
+    // pre-allocation request past the budget helps nobody.
+    let mut b = GraphBuilder::with_capacity(n, edge_capacity(n, n as f64 * (n as f64 - 1.0)));
     for u in 0..n as NodeId {
         for v in (u + 1)..n as NodeId {
             b.add_undirected(u, v);

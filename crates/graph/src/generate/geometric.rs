@@ -17,6 +17,7 @@
 //! Neighbour search uses a spatial grid with cell width ≥ max radius, so
 //! generation is `O(n · E[deg])`.
 
+use crate::generate::edge_capacity;
 use crate::{DiGraph, GraphBuilder, NodeId};
 use rand::{Rng, RngExt};
 
@@ -93,10 +94,14 @@ fn generate<R: Rng + ?Sized>(params: GeoParams, rng: &mut R) -> (DiGraph, Vec<(f
         buckets[cy * cells + cx].push(i as NodeId);
     }
 
-    let mut b = GraphBuilder::with_capacity(
-        n,
-        (n as f64 * std::f64::consts::PI * r_max * r_max * n as f64) as usize + 16,
-    );
+    // Expected out-degree of node u is π·r_u²·n on the torus, so the
+    // expected edge total is n·π·E[r²]·n with E[r²] the mean square of a
+    // Uniform(r_min, r_max) radius — using r_max² here over-estimated the
+    // heterogeneous case by up to 3×, and the unclamped value was handed
+    // straight to the allocator (tens of TB at n = 2²⁰ and large r).
+    let mean_r2 = (r_min * r_min + r_min * r_max + r_max * r_max) / 3.0;
+    let expected = n as f64 * std::f64::consts::PI * mean_r2 * n as f64;
+    let mut b = GraphBuilder::with_capacity(n, edge_capacity(n, expected));
     for u in 0..n {
         let pu = pos[u];
         let ru2 = radius[u] * radius[u];
@@ -150,10 +155,8 @@ fn graph_for_positions(pos: &[(f64, f64)], r: f64) -> DiGraph {
         let (cx, cy) = cell_of(p);
         buckets[cy * cells + cx].push(i as NodeId);
     }
-    let mut b = GraphBuilder::with_capacity(
-        n,
-        (n as f64 * std::f64::consts::PI * r * r * n as f64) as usize + 16,
-    );
+    let expected = n as f64 * std::f64::consts::PI * r * r * n as f64;
+    let mut b = GraphBuilder::with_capacity(n, edge_capacity(n, expected));
     let r2 = r * r;
     for u in 0..n {
         let pu = pos[u];
@@ -305,6 +308,30 @@ mod tests {
         let far = overlap(&seq[0], &seq[4]);
         assert!(near > 0.5, "σ = 0.02 steps should keep most edges ({near})");
         assert!(far < near, "drift should accumulate ({far} !< {near})");
+    }
+
+    #[test]
+    fn large_radius_generation_completes_without_over_allocating() {
+        // Regression for the capacity bug: the old pre-sizing handed the
+        // raw n·π·r_max²·n estimate to the allocator, which (a) used
+        // r_max for every node, over-estimating heterogeneous-range
+        // graphs ~3×, and (b) at large n aborted with a terabyte-scale
+        // reservation before generating a single edge. At the torus
+        // radius bound the clamp must keep the request at most the
+        // prealloc budget and generation must simply complete.
+        let mut rng = derive_rng(19, b"geo", 0);
+        let params = GeoParams {
+            n: 1200,
+            r_min: 0.01,
+            r_max: 0.5,
+        };
+        let (g, _) = random_geometric_directed(params, &mut rng);
+        assert_eq!(g.n(), 1200);
+        assert!(g.m() > 0);
+        // The capacity the generator now requests for the pathological
+        // million-node case stays within the budget instead of ~6.9 TB.
+        let est = (1u64 << 20) as f64 * std::f64::consts::PI * 0.25 * (1u64 << 20) as f64;
+        assert!(crate::generate::edge_capacity(1 << 20, est) <= 1 << 26);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! matters: the experiment sweeps build thousands of graphs with
 //! `n ≤ 2¹⁷`.
 
+use crate::generate::edge_capacity;
 use crate::{DiGraph, NodeId};
 use rand::{Rng, RngExt};
 
@@ -39,8 +40,11 @@ pub fn gnp_directed<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> DiGraph {
         return DiGraph::from_sorted_unique_edges(n, Vec::new());
     }
     let total_pairs = (n as u64) * (n as u64 - 1);
+    // 5% headroom over the binomial mean, clamped (the same audit as the
+    // geometric generator: at p near 1 the fudge factor pushed the
+    // estimate past the pair count, and nothing capped the request).
     let mut edges: Vec<(NodeId, NodeId)> =
-        Vec::with_capacity((total_pairs as f64 * p * 1.05) as usize + 16);
+        Vec::with_capacity(edge_capacity(n, total_pairs as f64 * p * 1.05));
     if p >= 1.0 {
         for u in 0..n as NodeId {
             for v in 0..n as NodeId {
@@ -77,8 +81,9 @@ pub fn gnp_undirected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> DiGraph
         return DiGraph::from_sorted_unique_edges(n, Vec::new());
     }
     let total_pairs = (n as u64) * (n as u64 - 1) / 2;
+    // Two directed edges per successful pair, 5% headroom, clamped.
     let mut edges: Vec<(NodeId, NodeId)> =
-        Vec::with_capacity((total_pairs as f64 * p * 2.1) as usize + 16);
+        Vec::with_capacity(edge_capacity(n, total_pairs as f64 * p * 2.1));
     if p >= 1.0 {
         for u in 0..n as NodeId {
             for v in 0..n as NodeId {

@@ -21,6 +21,30 @@ pub mod gnp;
 pub mod lower_bound;
 pub mod structured;
 
+/// Hard ceiling on any single generator pre-allocation, in edge entries
+/// (64 Mi pairs = 512 MiB). Past this an estimate buys nothing: `Vec`'s
+/// geometric growth costs at most one extra copy, which is noise next to
+/// actually generating that many edges — while an over-estimate turned
+/// straight into `with_capacity` aborts the process before generation
+/// even starts (the `n²`-flavored geometric estimate requested terabytes
+/// at `n = 2²⁰`).
+const MAX_PREALLOC_EDGES: usize = 1 << 26;
+
+/// Clamp a (possibly wildly over-estimated) expected-edge count into a
+/// safe `Vec::with_capacity` argument: never beyond the graph-theoretic
+/// maximum `n·(n−1)` and never beyond [`MAX_PREALLOC_EDGES`]. All
+/// generator pre-sizing funnels through here so no parameter corner —
+/// huge `n`, radius near the torus bound, `p` near 1 — can turn a hint
+/// into a multi-terabyte allocation request. Capacity is a hint only; it
+/// never affects the generated graph.
+pub fn edge_capacity(n: usize, expected_edges: f64) -> usize {
+    let max_edges = (n as u128).saturating_mul(n.saturating_sub(1) as u128);
+    // `as` saturates on huge/NaN floats, so the estimate itself can't
+    // overflow; negative/NaN estimates clamp to 0 and leave the +16 pad.
+    let est = (expected_edges.max(0.0) as u128).saturating_add(16);
+    est.min(max_edges).min(MAX_PREALLOC_EDGES as u128) as usize
+}
+
 pub use classic::{binary_tree, caterpillar, complete, cycle, grid2d, path, star};
 pub use family::GraphFamily;
 pub use geometric::{
@@ -29,3 +53,41 @@ pub use geometric::{
 pub use gnp::{gnp_directed, gnp_undirected};
 pub use lower_bound::{lower_bound_net, star_chain, LowerBoundNet, StarChain};
 pub use structured::{clustered, hypercube, random_out_regular, torus2d};
+
+#[cfg(test)]
+mod capacity_tests {
+    use super::{edge_capacity, MAX_PREALLOC_EDGES};
+
+    #[test]
+    fn small_estimates_pass_through_with_pad() {
+        assert_eq!(edge_capacity(100, 250.0), 266);
+    }
+
+    #[test]
+    fn clamps_to_max_possible_edges() {
+        assert_eq!(edge_capacity(10, 1e9), 90);
+        assert_eq!(edge_capacity(1, 64.0), 0);
+        assert_eq!(edge_capacity(0, 64.0), 0);
+    }
+
+    #[test]
+    fn clamps_terabyte_scale_estimates_to_the_prealloc_budget() {
+        // The pre-fix geometric estimate at n = 2²⁰, r near the torus
+        // bound: ~8.6·10¹¹ entries ≈ 6.9 TB of (u32, u32) pairs,
+        // requested before a single edge existed.
+        let n = 1 << 20;
+        let est = (n as f64) * std::f64::consts::PI * 0.5 * 0.5 * (n as f64);
+        assert!(est > 8e11);
+        assert_eq!(edge_capacity(n, est), MAX_PREALLOC_EDGES);
+    }
+
+    #[test]
+    fn degenerate_floats_do_not_panic_or_explode() {
+        // At n = 1000 the graph-theoretic bound (999 000) binds first.
+        assert_eq!(edge_capacity(1000, f64::INFINITY), 999_000);
+        assert_eq!(edge_capacity(1000, f64::NAN), 16);
+        assert_eq!(edge_capacity(1000, -5.0), 16);
+        // usize-overflow corner: n·(n−1) saturates instead of wrapping.
+        assert_eq!(edge_capacity(usize::MAX, 1e30), MAX_PREALLOC_EDGES);
+    }
+}

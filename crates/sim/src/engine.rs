@@ -24,6 +24,18 @@ pub struct EngineConfig {
     /// chosen budget, e.g. a fixed-length schedule that always runs to
     /// its cap).
     pub warn_on_round_cap: bool,
+    /// Worker threads for the *intra-run* scatter/collision phase
+    /// (`1` = fully serial, the default). The partition is by receiver
+    /// id range, so any thread count produces bit-identical runs — see
+    /// [`Engine::run_par`] for the determinism contract.
+    pub threads: usize,
+    /// Minimum per-round edge volume (Σ out-degree over the round's
+    /// transmitters) before the scatter fans out; below it the round
+    /// stays serial because scoped-thread spawn overhead would beat any
+    /// cache-miss savings. Purely a performance threshold — both paths
+    /// compute identical state, so it never affects results. Tests force
+    /// the parallel path with `0`.
+    pub par_min_edges: u64,
 }
 
 impl Default for EngineConfig {
@@ -33,6 +45,8 @@ impl Default for EngineConfig {
             half_duplex: true,
             record_trace: false,
             warn_on_round_cap: true,
+            threads: 1,
+            par_min_edges: PAR_SCATTER_MIN_EDGES,
         }
     }
 }
@@ -58,6 +72,20 @@ impl EngineConfig {
     /// Override the cap-hit warning.
     pub fn warn_on_cap(mut self, warn: bool) -> Self {
         self.warn_on_round_cap = warn;
+        self
+    }
+
+    /// Set the intra-run scatter thread count (chainable). Every run
+    /// entry point honors it — [`Engine::run`], the `*_energy` variants,
+    /// and the windowed/dynamic wrappers that take an `EngineConfig` —
+    /// and the result is bit-identical for every value, so sweeps can
+    /// trade trial-level for run-level parallelism freely.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "threads must be at least 1");
+        self.threads = threads;
         self
     }
 }
@@ -182,12 +210,15 @@ const HIT_NEVER: HitRecord = HitRecord {
     source: 0,
 };
 
+/// Default for [`EngineConfig::par_min_edges`].
+const PAR_SCATTER_MIN_EDGES: u64 = 8_192;
+
 /// Reusable simulation engine for one graph.
 ///
-/// Scratch buffers (`hits`, `touched`) persist across runs so a trial
-/// loop over seeds on a fixed graph performs no per-run allocation
-/// beyond the metrics vector — the "reuse collections" idiom from the
-/// perf guides.
+/// Scratch buffers (`hits`, `touched`, `par_touched`) persist across
+/// runs so a trial loop over seeds on a fixed graph performs no per-run
+/// allocation beyond the metrics vector — the "reuse collections" idiom
+/// from the perf guides.
 pub struct Engine<'g> {
     graph: &'g DiGraph,
     cfg: EngineConfig,
@@ -199,6 +230,10 @@ pub struct Engine<'g> {
     sent: Vec<u32>,
     /// Nodes touched by at least one transmission this round.
     touched: Vec<NodeId>,
+    /// Per-worker touched lists for the parallel scatter (worker `w`
+    /// collects only receivers from its own id range, kept sorted), so
+    /// rounds allocate nothing after the first parallel round.
+    par_touched: Vec<Vec<NodeId>>,
 }
 
 impl<'g> Engine<'g> {
@@ -211,6 +246,7 @@ impl<'g> Engine<'g> {
             hits: vec![HIT_NEVER; n],
             sent: vec![0; n],
             touched: Vec::with_capacity(64),
+            par_touched: Vec::new(),
         }
     }
 
@@ -219,10 +255,57 @@ impl<'g> Engine<'g> {
         &self.cfg
     }
 
-    /// Run `protocol` to completion (or the round cap) with `rng`.
+    /// Run `protocol` to completion (or the round cap) with `rng`,
+    /// using [`EngineConfig::threads`] scatter workers (1 by default).
     pub fn run<P: Protocol>(&mut self, protocol: &mut P, rng: &mut ChaCha8Rng) -> RunResult {
         let g = self.graph;
         self.run_with(|_| g, protocol, rng)
+    }
+
+    /// [`Engine::run`] with an explicit intra-run thread count. The
+    /// argument **overrides** [`EngineConfig::threads`] for this run
+    /// only — prefer one mechanism per call site: `with_threads` on the
+    /// config when the count is part of the experiment setup (it flows
+    /// through every wrapper that takes an `EngineConfig`), this entry
+    /// point when a caller varies the count per run (the determinism
+    /// tests, the bench's `2t`/`8t` entries).
+    ///
+    /// # Determinism contract
+    ///
+    /// The round loop stays serial where randomness lives (the per-node
+    /// `decide` draws and the ascending-receiver delivery sweep); only
+    /// the scatter/collision-count phase fans out, partitioned by
+    /// **receiver id range**: each worker streams the full transmitter
+    /// list over the CSR rows but writes [`HitRecord`]s only for its
+    /// disjoint node range. No merge step, no atomics, and the delivery
+    /// order (ascending receiver id) is unchanged, so serial and
+    /// N-thread runs are bit-identical *by construction* — the same
+    /// guarantee the sweep layer gives for trial-level fan-out.
+    pub fn run_par<P: Protocol>(
+        &mut self,
+        protocol: &mut P,
+        rng: &mut ChaCha8Rng,
+        threads: usize,
+    ) -> RunResult {
+        assert!(threads >= 1, "threads must be at least 1");
+        let g = self.graph;
+        self.run_core(|_| g, protocol, rng, &mut NoEnergy, threads)
+            .0
+    }
+
+    /// [`Engine::run_par`] with an energy overlay — the parallel scatter
+    /// never touches the session (duty charges happen on the serial
+    /// side), so overlay runs keep the same bit-identity guarantee.
+    pub fn run_par_energy<P: Protocol>(
+        &mut self,
+        protocol: &mut P,
+        rng: &mut ChaCha8Rng,
+        session: &mut EnergySession,
+        threads: usize,
+    ) -> EnergyRunResult {
+        assert!(threads >= 1, "threads must be at least 1");
+        let g = self.graph;
+        self.run_energy_core(|_| g, protocol, rng, session, threads)
     }
 
     /// [`Engine::run`] with an energy overlay: duties are charged to
@@ -248,7 +331,8 @@ impl<'g> Engine<'g> {
         F: Fn(u64) -> &'g DiGraph,
         P: Protocol,
     {
-        self.run_core(pick, protocol, rng, &mut NoEnergy).0
+        let threads = self.cfg.threads.max(1);
+        self.run_core(pick, protocol, rng, &mut NoEnergy, threads).0
     }
 
     /// [`Engine::run_with`] with an energy overlay — see
@@ -264,13 +348,31 @@ impl<'g> Engine<'g> {
         F: Fn(u64) -> &'g DiGraph,
         P: Protocol,
     {
+        let threads = self.cfg.threads.max(1);
+        self.run_energy_core(pick, protocol, rng, session, threads)
+    }
+
+    /// Shared energy-overlay wrapper: session lifecycle around the core
+    /// loop at an explicit thread count.
+    fn run_energy_core<F, P>(
+        &mut self,
+        pick: F,
+        protocol: &mut P,
+        rng: &mut ChaCha8Rng,
+        session: &mut EnergySession,
+        threads: usize,
+    ) -> EnergyRunResult
+    where
+        F: Fn(u64) -> &'g DiGraph,
+        P: Protocol,
+    {
         assert_eq!(
             session.n(),
             self.graph.n(),
             "energy session node count must match the graph"
         );
         session.begin();
-        let (run, stopped_on_depletion) = self.run_core(pick, protocol, rng, session);
+        let (run, stopped_on_depletion) = self.run_core(pick, protocol, rng, session, threads);
         let energy = session.finalize(run.metrics.per_node());
         EnergyRunResult {
             run,
@@ -280,13 +382,16 @@ impl<'g> Engine<'g> {
     }
 
     /// The round loop, generic over the energy hook. Returns the run and
-    /// whether the hook requested an early stop.
+    /// whether the hook requested an early stop. `threads` is the scatter
+    /// worker count; every value yields bit-identical results (see
+    /// [`Engine::run_par`]).
     fn run_core<F, P, E>(
         &mut self,
         pick: F,
         protocol: &mut P,
         rng: &mut ChaCha8Rng,
         hook: &mut E,
+        threads: usize,
     ) -> (RunResult, bool)
     where
         F: Fn(u64) -> &'g DiGraph,
@@ -388,26 +493,123 @@ impl<'g> Engine<'g> {
             // contiguous array, so consecutive transmitters stream it
             // forward instead of chasing per-node heap allocations, and
             // each target update touches exactly one `HitRecord` line.
+            //
+            // Metrics and duty charges are serial side effects; keep them
+            // out of the (possibly parallel) scatter so both paths see
+            // the identical per-transmitter order.
             self.touched.clear();
             for &u in &transmitters {
                 metrics.record_transmission(u);
                 if E::ACTIVE {
                     hook.charge(u, Duty::Transmit, round);
                 }
-                let ui = u as usize;
-                let row = out_offsets[ui] as usize..out_offsets[ui + 1] as usize;
-                for &v in &out_neighbors[row] {
-                    let h = &mut self.hits[v as usize];
-                    if h.stamp | 1 != hit_many {
-                        // First hit this round: remember the transmitter.
-                        *h = HitRecord {
-                            stamp: hit_once,
-                            source: u,
-                        };
-                        self.touched.push(v);
-                    } else {
-                        // Second or later hit: mark collided.
-                        h.stamp = hit_many;
+            }
+            // Fan out only when the round's edge volume pays for the
+            // scoped-thread spawn; the serial and parallel paths compute
+            // the same `hits`/`touched` state, so this heuristic cannot
+            // influence results (and therefore neither can the thread
+            // count).
+            let threads_now = if threads > 1 && transmitters.len() > 1 {
+                let edges: u64 = transmitters
+                    .iter()
+                    .map(|&u| u64::from(out_offsets[u as usize + 1] - out_offsets[u as usize]))
+                    .sum();
+                if edges >= self.cfg.par_min_edges {
+                    threads.min(n)
+                } else {
+                    1
+                }
+            } else {
+                1
+            };
+            // Whether `touched` is already in ascending receiver order
+            // (the parallel merge produces it sorted for free).
+            let mut touched_sorted = false;
+            if threads_now > 1 {
+                // Receiver-range partition: worker `w` owns node ids
+                // `[w·n/t, (w+1)·n/t)` and is the only writer of that
+                // `hits` range. Every worker walks the full transmitter
+                // list in the same (serial) order, narrowing each sorted
+                // CSR row to its range by binary search, so for any fixed
+                // receiver the sequence of first-hit/collision updates is
+                // exactly the serial one.
+                let t = threads_now;
+                if self.par_touched.len() < t {
+                    self.par_touched.resize_with(t, Vec::new);
+                }
+                let par_touched = &mut self.par_touched[..t];
+                let tx: &[NodeId] = &transmitters;
+                let mut rest: &mut [HitRecord] = &mut self.hits;
+                let mut lo = 0usize;
+                // One range's worth of work; runs on t − 1 spawned
+                // threads plus the calling thread (which takes the last
+                // range instead of idling at the join — one fewer
+                // spawn per round).
+                let scatter_range =
+                    |lo: usize, hi: usize, chunk: &mut [HitRecord], touched_w: &mut Vec<NodeId>| {
+                        for &u in tx {
+                            let ui = u as usize;
+                            let row = &out_neighbors
+                                [out_offsets[ui] as usize..out_offsets[ui + 1] as usize];
+                            let s = row.partition_point(|&v| (v as usize) < lo);
+                            let e = s + row[s..].partition_point(|&v| (v as usize) < hi);
+                            for &v in &row[s..e] {
+                                let h = &mut chunk[v as usize - lo];
+                                if h.stamp | 1 != hit_many {
+                                    *h = HitRecord {
+                                        stamp: hit_once,
+                                        source: u,
+                                    };
+                                    touched_w.push(v);
+                                } else {
+                                    h.stamp = hit_many;
+                                }
+                            }
+                        }
+                        // Pushes interleave across transmitters; sort
+                        // within the range (each worker sorts its own
+                        // slice, in parallel).
+                        touched_w.sort_unstable();
+                    };
+                std::thread::scope(|scope| {
+                    for (w, touched_w) in par_touched.iter_mut().enumerate() {
+                        let hi = (w + 1) * n / t;
+                        let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(hi - lo);
+                        rest = tail;
+                        touched_w.clear();
+                        if w + 1 == t {
+                            scatter_range(lo, hi, chunk, touched_w);
+                        } else {
+                            let scatter_range = &scatter_range;
+                            scope.spawn(move || scatter_range(lo, hi, chunk, touched_w));
+                        }
+                        lo = hi;
+                    }
+                });
+                // Ranges ascend with the worker index and each list is
+                // sorted, so plain concatenation is the globally
+                // ascending receiver order.
+                for w in &self.par_touched[..t] {
+                    self.touched.extend_from_slice(w);
+                }
+                touched_sorted = true;
+            } else {
+                for &u in &transmitters {
+                    let ui = u as usize;
+                    let row = out_offsets[ui] as usize..out_offsets[ui + 1] as usize;
+                    for &v in &out_neighbors[row] {
+                        let h = &mut self.hits[v as usize];
+                        if h.stamp | 1 != hit_many {
+                            // First hit this round: remember the transmitter.
+                            *h = HitRecord {
+                                stamp: hit_once,
+                                source: u,
+                            };
+                            self.touched.push(v);
+                        } else {
+                            // Second or later hit: mark collided.
+                            h.stamp = hit_many;
+                        }
                     }
                 }
             }
@@ -464,9 +666,12 @@ impl<'g> Engine<'g> {
                         }
                     }
                 } else {
-                    // `touched` is filled in transmitter-scan order; sort
-                    // for the ascending receiver order.
-                    self.touched.sort_unstable();
+                    // The serial scatter fills `touched` in
+                    // transmitter-scan order; sort for the ascending
+                    // receiver order (the parallel merge is pre-sorted).
+                    if !touched_sorted {
+                        self.touched.sort_unstable();
+                    }
                     for i in 0..self.touched.len() {
                         deliver_to(self.touched[i], protocol, rng, hook);
                     }
@@ -528,6 +733,32 @@ pub fn run_protocol<P: Protocol>(
     rng: &mut ChaCha8Rng,
 ) -> RunResult {
     Engine::new(graph, cfg).run(protocol, rng)
+}
+
+/// One-shot convenience for a parallel run: build an engine, run once
+/// with `threads` scatter workers — see [`Engine::run_par`] for the
+/// bit-identity contract.
+pub fn run_protocol_par<P: Protocol>(
+    graph: &DiGraph,
+    protocol: &mut P,
+    cfg: EngineConfig,
+    rng: &mut ChaCha8Rng,
+    threads: usize,
+) -> RunResult {
+    Engine::new(graph, cfg).run_par(protocol, rng, threads)
+}
+
+/// One-shot convenience for a parallel run under an energy overlay —
+/// see [`Engine::run_par_energy`].
+pub fn run_protocol_par_energy<P: Protocol>(
+    graph: &DiGraph,
+    protocol: &mut P,
+    cfg: EngineConfig,
+    rng: &mut ChaCha8Rng,
+    session: &mut EnergySession,
+    threads: usize,
+) -> EnergyRunResult {
+    Engine::new(graph, cfg).run_par_energy(protocol, rng, session, threads)
 }
 
 /// One-shot convenience with an energy overlay: build an engine, run
@@ -825,8 +1056,8 @@ mod tests {
         let cfg = EngineConfig {
             max_rounds: 10,
             half_duplex: true,
-            record_trace: false,
             warn_on_round_cap: false,
+            ..Default::default()
         };
         let res = run_protocol(&g, &mut p, cfg, &mut rng);
         assert_eq!(res.metrics.total_transmissions(), 20);
@@ -874,8 +1105,8 @@ mod tests {
         let cfg = EngineConfig {
             max_rounds: 10,
             half_duplex: false,
-            record_trace: false,
             warn_on_round_cap: false,
+            ..Default::default()
         };
         let _ = run_protocol(&g, &mut p, cfg, &mut rng);
         assert_eq!(
@@ -1290,6 +1521,86 @@ mod tests {
         }
         assert_eq!(totals[0], totals[1]);
         assert_eq!(totals[1], totals[2]);
+    }
+
+    #[test]
+    fn run_par_matches_serial_bit_for_bit() {
+        // Coin-flip transmitters on a dense-ish Gnp: the RNG stream is
+        // consumed in decide/delivery order, so any divergence in the
+        // parallel scatter (ordering, collision marking, touched merge)
+        // would cascade into different rounds/metrics/traces.
+        let g = radio_graph::generate::gnp_directed(500, 0.08, &mut derive_rng(30, b"parg", 0));
+
+        struct Coin {
+            informed: Vec<bool>,
+            n_informed: usize,
+        }
+        impl Protocol for Coin {
+            type Msg = ();
+            fn initially_awake(&self) -> Vec<NodeId> {
+                vec![0]
+            }
+            fn decide(&mut self, n: NodeId, _r: u64, rng: &mut ChaCha8Rng) -> Action {
+                use rand::RngExt;
+                if self.informed[n as usize] && rng.random_bool(0.4) {
+                    Action::Transmit
+                } else {
+                    Action::Silent
+                }
+            }
+            fn payload(&self, _n: NodeId, _r: u64) -> Self::Msg {}
+            fn on_receive(
+                &mut self,
+                n: NodeId,
+                _f: NodeId,
+                _r: u64,
+                _m: &Self::Msg,
+                _rng: &mut ChaCha8Rng,
+            ) {
+                if !self.informed[n as usize] {
+                    self.informed[n as usize] = true;
+                    self.n_informed += 1;
+                }
+            }
+            fn is_complete(&self) -> bool {
+                self.n_informed == self.informed.len()
+            }
+            fn informed_count(&self) -> usize {
+                self.n_informed
+            }
+            fn active_count(&self) -> usize {
+                self.n_informed
+            }
+        }
+
+        let run_at = |threads: usize| {
+            let mut p = Coin {
+                informed: {
+                    let mut v = vec![false; 500];
+                    v[0] = true;
+                    v
+                },
+                n_informed: 1,
+            };
+            let mut rng = derive_rng(31, b"par", 0);
+            // Force the parallel path even on this small graph.
+            let cfg = EngineConfig {
+                par_min_edges: 0,
+                ..EngineConfig::with_max_rounds(200).traced()
+            };
+            let res = run_protocol_par(&g, &mut p, cfg, &mut rng, threads);
+            (
+                res.rounds,
+                res.completed,
+                res.metrics,
+                res.trace,
+                p.informed,
+            )
+        };
+        let serial = run_at(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(serial, run_at(threads), "{threads} threads diverged");
+        }
     }
 
     #[test]

@@ -34,6 +34,14 @@
 //! [`trials::parallel_trials`] remains as the low-level free-form
 //! fan-out underneath it.
 //!
+//! Parallelism also reaches *inside* a single run: the engine's
+//! scatter/collision phase — the dominant cost at scale — can fan out
+//! over [`EngineConfig::threads`] workers partitioned by receiver id
+//! range ([`Engine::run_par`], [`engine::run_protocol_par`]), with runs
+//! bit-identical for every thread count. Sweeps over huge cells trade
+//! trial-level for run-level parallelism via
+//! [`Sweep::with_threads_per_run`].
+//!
 //! The paper's transmissions-only energy measure generalises through the
 //! [`energy`] overlay (`radio-energy`): the `*_energy` entry points
 //! ([`Engine::run_energy`], [`run_protocol_energy`],
@@ -61,8 +69,8 @@ pub use radio_energy as energy;
 
 pub use baseline::{run_adjlist, AdjListGraph};
 pub use engine::{
-    run_dynamic, run_dynamic_energy, run_protocol_energy, EnergyRunResult, Engine, EngineConfig,
-    RunResult,
+    run_dynamic, run_dynamic_energy, run_protocol_energy, run_protocol_par,
+    run_protocol_par_energy, EnergyRunResult, Engine, EngineConfig, RunResult,
 };
 pub use fault::{CrashPlan, Faulty};
 pub use metrics::{EnergyMetrics, Metrics, RoundRecord, Trace};

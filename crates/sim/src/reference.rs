@@ -307,8 +307,8 @@ mod tests {
             let cfg = EngineConfig {
                 max_rounds: 300,
                 half_duplex: false,
-                record_trace: false,
                 warn_on_round_cap: false,
+                ..Default::default()
             };
             let mut p1 = RandomQuiet::new(80, 2);
             let mut rng1 = derive_rng(seed, b"refrun", 1);

@@ -266,6 +266,9 @@ pub struct Sweep {
     /// Trials per cell.
     pub trials: usize,
     cells: Vec<SweepCell>,
+    /// Intra-run scatter threads the runner should hand the engine
+    /// (`1` = classic trial-level fan-out only).
+    threads_per_run: usize,
 }
 
 impl Sweep {
@@ -276,7 +279,34 @@ impl Sweep {
             base_seed,
             trials,
             cells: Vec::new(),
+            threads_per_run: 1,
         }
+    }
+
+    /// Trade trial-level for run-level parallelism: with
+    /// `threads_per_run > 1` the trial fan-out runs serially and each
+    /// trial is expected to drive the engine with that many intra-run
+    /// scatter workers (`EngineConfig::with_threads(sweep.run_threads())`
+    /// in the runner closure — the sweep machinery never builds engines
+    /// itself). The right trade for *huge* cells, where a single run
+    /// saturates memory bandwidth and per-trial rayon tasks would thrash
+    /// each other's caches. Either setting produces bit-identical
+    /// reports: run results are thread-count independent by the engine's
+    /// receiver-range-partition contract, and trial seeds depend only on
+    /// `(base_seed, cell, trial)`.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn with_threads_per_run(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "threads_per_run must be at least 1");
+        self.threads_per_run = threads;
+        self
+    }
+
+    /// The intra-run thread count runner closures should pass to
+    /// [`EngineConfig::with_threads`](crate::EngineConfig::with_threads).
+    pub fn run_threads(&self) -> usize {
+        self.threads_per_run
     }
 
     /// Append one explicit cell.
@@ -330,6 +360,13 @@ impl Sweep {
     where
         F: Fn(&SweepCell, &DiGraph, u64) -> TrialResult + Sync,
     {
+        if self.threads_per_run > 1 {
+            // Run-level parallelism owns the cores: execute trials
+            // serially and let each run's scatter phase fan out inside
+            // the engine. Identical results either way (see
+            // `with_threads_per_run`).
+            return self.collect_serial(runner);
+        }
         let total = self.cells.len() * self.trials;
         let flat: Vec<TrialResult> = (0..total)
             .into_par_iter()
@@ -363,6 +400,28 @@ impl Sweep {
         F: Fn(&SweepCell, &DiGraph, u64) -> TrialResult + Sync,
     {
         self.report(&self.collect_serial(runner))
+    }
+
+    /// Execute every trial of one cell (serially, in trial order) and
+    /// return its results. Lets callers interleave their own per-cell
+    /// bookkeeping — wall-clock timing, progress logging — while keeping
+    /// the exact seeds and aggregation of [`Sweep::collect`]: running
+    /// every index through this and feeding the list to
+    /// [`Sweep::report`] reproduces `run`'s output bit for bit.
+    ///
+    /// # Panics
+    /// Panics if `cell_index` is out of range.
+    pub fn run_cell<F>(&self, cell_index: usize, runner: &F) -> CellResults
+    where
+        F: Fn(&SweepCell, &DiGraph, u64) -> TrialResult + Sync,
+    {
+        assert!(cell_index < self.cells.len(), "cell index out of range");
+        CellResults {
+            cell: self.cells[cell_index].clone(),
+            trials: (0..self.trials)
+                .map(|t| self.one_trial(cell_index * self.trials + t, runner))
+                .collect(),
+        }
     }
 
     /// Aggregate raw results (e.g. from [`Sweep::collect`]) into a report.

@@ -129,6 +129,168 @@ fn graph_generation_is_independent_of_protocol_seed() {
     assert_eq!(g1, g2);
 }
 
+/// Coin-flip transmitters: consumes RNG in `decide` *and* keeps awake
+/// bookkeeping honest (sleep after transmitting twice), exercising every
+/// engine phase the parallel scatter must not perturb.
+struct CoinProto {
+    informed: Vec<bool>,
+    n_informed: usize,
+    sent: Vec<u32>,
+}
+
+impl CoinProto {
+    fn new(n: usize) -> Self {
+        let mut informed = vec![false; n];
+        informed[0] = true;
+        CoinProto {
+            informed,
+            n_informed: 1,
+            sent: vec![0; n],
+        }
+    }
+}
+
+impl adhoc_radio::sim::Protocol for CoinProto {
+    type Msg = ();
+    fn initially_awake(&self) -> Vec<u32> {
+        vec![0]
+    }
+    fn decide(
+        &mut self,
+        node: u32,
+        _round: u64,
+        rng: &mut rand_chacha::ChaCha8Rng,
+    ) -> adhoc_radio::sim::Action {
+        use adhoc_radio::sim::Action;
+        use rand::RngExt;
+        if self.sent[node as usize] >= 2 {
+            return Action::Sleep;
+        }
+        if self.informed[node as usize] && rng.random_bool(0.35) {
+            self.sent[node as usize] += 1;
+            Action::Transmit
+        } else {
+            Action::Silent
+        }
+    }
+    fn payload(&self, _node: u32, _round: u64) -> Self::Msg {}
+    fn on_receive(
+        &mut self,
+        node: u32,
+        _from: u32,
+        _round: u64,
+        _msg: &Self::Msg,
+        _rng: &mut rand_chacha::ChaCha8Rng,
+    ) {
+        if !self.informed[node as usize] {
+            self.informed[node as usize] = true;
+            self.n_informed += 1;
+        }
+    }
+    fn is_complete(&self) -> bool {
+        self.n_informed == self.informed.len()
+    }
+    fn informed_count(&self) -> usize {
+        self.n_informed
+    }
+    fn active_count(&self) -> usize {
+        self.n_informed
+    }
+}
+
+#[test]
+fn run_par_is_bit_identical_to_serial_across_families_and_channels() {
+    // The intra-run parallel engine's contract: for every graph family,
+    // half-duplex setting, and thread count, `run_par` reproduces the
+    // serial run bit for bit — rounds, completion, the full trace, and
+    // the per-node transmission vector. The scatter partition is by
+    // receiver id range, so this is a property of the construction; the
+    // test pins it across the exact surfaces the sweep grids use.
+    use adhoc_radio::graph::GraphFamily;
+    use adhoc_radio::sim::{run_protocol_par, EngineConfig};
+
+    let n = 400;
+    for (family, p) in [
+        (GraphFamily::GnpDirected, 0.06),
+        (
+            GraphFamily::Geometric,
+            adhoc_radio::graph::generate::GeoParams::with_expected_degree(n, 24.0).r_min,
+        ),
+    ] {
+        let g = family.generate(n, p, &mut derive_rng(41, b"par-g", 0));
+        for half_duplex in [true, false] {
+            let run_at = |threads: usize| {
+                let mut proto = CoinProto::new(n);
+                let mut rng = derive_rng(42, b"par-run", 0);
+                let cfg = EngineConfig {
+                    half_duplex,
+                    // Force the parallel path every round, even on this
+                    // test-sized graph.
+                    par_min_edges: 0,
+                    ..EngineConfig::with_max_rounds(300).traced()
+                };
+                let res = run_protocol_par(&g, &mut proto, cfg, &mut rng, threads);
+                (
+                    res.rounds,
+                    res.completed,
+                    res.hit_round_cap,
+                    res.metrics,
+                    res.trace,
+                    proto.informed,
+                    proto.sent,
+                )
+            };
+            let serial = run_at(1);
+            for threads in [2, 4, 8] {
+                assert_eq!(
+                    serial,
+                    run_at(threads),
+                    "{} half_duplex={half_duplex} {threads} threads diverged",
+                    family.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn run_par_energy_is_bit_identical_to_serial() {
+    // Same contract under the energy overlay (the third channel
+    // setting): model-based charges happen on the serial side of the
+    // round, so thread count must not move a single joule — including
+    // battery depletion, which feeds back into delivery semantics.
+    use adhoc_radio::sim::{
+        run_protocol_par_energy, Battery, EnergySession, EngineConfig, LinearRadio,
+    };
+
+    let n = 300;
+    let g = gnp_directed(n, 0.08, &mut derive_rng(43, b"pare-g", 0));
+    let run_at = |threads: usize| {
+        let mut proto = CoinProto::new(n);
+        let mut rng = derive_rng(44, b"pare-run", 0);
+        let mut session = EnergySession::new(n, LinearRadio::with_listen_ratio(0.5), 9)
+            .with_battery(Battery::uniform(n, 40.0));
+        let cfg = EngineConfig {
+            par_min_edges: 0,
+            ..EngineConfig::with_max_rounds(200)
+        };
+        let res = run_protocol_par_energy(&g, &mut proto, cfg, &mut rng, &mut session, threads);
+        (
+            res.run.rounds,
+            res.run.completed,
+            res.run.metrics,
+            res.energy.spent.clone(),
+            res.energy.first_depletion_round,
+            res.energy.depleted_nodes(),
+            proto.informed,
+        )
+    };
+    let serial = run_at(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(serial, run_at(threads), "{threads} threads diverged");
+    }
+}
+
 #[test]
 fn sweep_json_is_bit_identical_across_thread_counts() {
     // The sweep API's contract: the serialized report is a pure function
