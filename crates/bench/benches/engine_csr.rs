@@ -17,13 +17,21 @@
 //! overhead on the CSR hot path. The `engine_par` group runs it through
 //! the intra-run parallel scatter at 2 and 8 receiver-range workers
 //! (`run_protocol_par`), gating the parallel path's cost the same way.
+//!
+//! Two groups cover the **fused v2 engine**: `decide_phase/{v1,v2}`
+//! isolates the per-round decision loop on an edgeless graph (v1 shared
+//! serial stream vs v2 per-node counter-based streams), and
+//! `engine_fused/{1t,8t}` runs the fused engine end to end on the storm
+//! graph. Thread-scaling entries (`engine_par`/`engine_fused` `<k>t`,
+//! k > 1) are gated only between equal-`host_threads` runs — see
+//! `bench_compare`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use radio_energy::{EnergySession, LinearRadio, TxOnly};
 use radio_graph::generate::gnp_directed;
 use radio_graph::{DiGraph, NodeId};
-use radio_sim::engine::{run_protocol, run_protocol_energy, run_protocol_par};
-use radio_sim::{run_adjlist, Action, AdjListGraph, EngineConfig, Protocol};
+use radio_sim::engine::{run_protocol, run_protocol_energy, run_protocol_fused, run_protocol_par};
+use radio_sim::{run_adjlist, Action, AdjListGraph, EngineConfig, FusedDecide, Protocol};
 use radio_util::derive_rng;
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
@@ -63,6 +71,57 @@ impl Protocol for Storm {
     fn active_count(&self) -> usize {
         self.n
     }
+}
+
+/// Coin-flip storm: every node awake and flipping a biased coin every
+/// round, forever — the decide-phase-dominated workload (one RNG draw
+/// per node per round). The [`FusedDecide`] impl is stateless, so the
+/// identical protocol drives the v1 engine (shared serial stream) and
+/// the fused v2 engine (per-node counter-based streams).
+struct CoinStorm {
+    n: usize,
+    q: f64,
+}
+
+impl Protocol for CoinStorm {
+    type Msg = ();
+    fn initially_awake(&self) -> Vec<NodeId> {
+        (0..self.n as NodeId).collect()
+    }
+    fn decide(&mut self, node: NodeId, round: u64, rng: &mut ChaCha8Rng) -> Action {
+        self.decide_and_commit(node, round, rng)
+    }
+    fn payload(&self, _n: NodeId, _r: u64) -> Self::Msg {}
+    fn on_receive(
+        &mut self,
+        _n: NodeId,
+        _f: NodeId,
+        _r: u64,
+        _m: &Self::Msg,
+        _rng: &mut ChaCha8Rng,
+    ) {
+    }
+    fn is_complete(&self) -> bool {
+        false
+    }
+    fn informed_count(&self) -> usize {
+        self.n
+    }
+    fn active_count(&self) -> usize {
+        self.n
+    }
+}
+
+impl FusedDecide for CoinStorm {
+    fn decide_pure(&self, _node: NodeId, _round: u64, rng: &mut ChaCha8Rng) -> Action {
+        use rand::RngExt;
+        if rng.random_bool(self.q) {
+            Action::Transmit
+        } else {
+            Action::Silent
+        }
+    }
+    fn commit_decide(&mut self, _node: NodeId, _round: u64, _action: Action) {}
 }
 
 fn storm_graph(n: usize) -> DiGraph {
@@ -133,6 +192,60 @@ fn bench_engine_par(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_decide_phase(c: &mut Criterion) {
+    // The decide loop in isolation: an edgeless graph (no scatter, no
+    // delivery) with every node coin-flipping each round. `v1` consumes
+    // the shared serial stream; `v2` positions a per-node counter-based
+    // stream per decision (the fused engine's serial path) — this entry
+    // pins the stream-setup overhead v2 pays for its parallelisability.
+    let mut group = c.benchmark_group("decide_phase");
+    group.sample_size(10);
+    let g = DiGraph::from_edges(N, &[]);
+    group.throughput(Throughput::Elements(N as u64 * ROUNDS));
+    group.bench_with_input(BenchmarkId::new("v1", N), &g, |b, g| {
+        b.iter(|| {
+            let mut p = CoinStorm { n: N, q: 0.05 };
+            let mut rng = derive_rng(2, b"decide-bench", 0);
+            black_box(run_protocol(g, &mut p, cfg(), &mut rng))
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("v2", N), &g, |b, g| {
+        b.iter(|| {
+            let mut p = CoinStorm { n: N, q: 0.05 };
+            black_box(run_protocol_fused(g, &mut p, cfg(), 2))
+        });
+    });
+    group.finish();
+}
+
+fn bench_engine_fused(c: &mut Criterion) {
+    // The fused v2 engine end to end — parallel decide + receiver-range
+    // scatter + serial delivery — on the coin storm over the Gnp graph,
+    // at 1 and 8 workers. On a multi-core box the 8t entry measures the
+    // whole-round speedup v2 unlocks (decide was the Amdahl cap of
+    // engine_par); on a single-core runner it pins the fan-out overhead.
+    // `bench_compare` gates the 8t entry only between equal-core hosts
+    // (the baseline records `host_threads`).
+    let mut group = c.benchmark_group("engine_fused");
+    group.sample_size(10);
+    let g = storm_graph(N);
+    group.throughput(Throughput::Elements(g.m() as u64 * ROUNDS));
+    for threads in [1usize, 8] {
+        group.bench_with_input(BenchmarkId::new(format!("{threads}t"), N), &g, |b, g| {
+            b.iter(|| {
+                let mut p = CoinStorm { n: N, q: 0.2 };
+                black_box(run_protocol_fused(
+                    g,
+                    &mut p,
+                    cfg().with_threads(threads),
+                    3,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_engine_energy(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_energy");
     group.sample_size(10);
@@ -176,6 +289,8 @@ criterion_group!(
     bench_engine_csr,
     bench_engine_adjlist,
     bench_engine_par,
+    bench_decide_phase,
+    bench_engine_fused,
     bench_engine_energy
 );
 criterion_main!(benches);

@@ -12,6 +12,15 @@
 //! `baseline · (1 + max_regress)`. Benches present in only one file are
 //! reported but never fail the gate, so adding or removing benches does
 //! not require touching the baseline in the same commit.
+//!
+//! **Thread-scaling entries** — ids of the form `<k>t/...` with `k > 1`
+//! (`engine_par/8t/10000`, `engine_fused/8t/10000`) — are only *gated*
+//! when both files report the same `host_threads`: on a multi-core host
+//! they measure the fan-out's speedup, on a single-core host its
+//! partition overhead, and a ratio across the two is noise (the PR-4
+//! baseline made `8t` look 7.5× "slower" purely because the baseline
+//! runner had one core). On a mismatch they are printed with a warning
+//! and excluded from the verdict; single-thread entries always gate.
 
 use radio_util::Json;
 use std::process::ExitCode;
@@ -21,14 +30,34 @@ struct Entry {
     mean_s: f64,
 }
 
-fn load(path: &str) -> Result<Vec<Entry>, String> {
+struct BenchFile {
+    entries: Vec<Entry>,
+    /// Machine parallelism recorded by the criterion shim; `None` for
+    /// files predating the field.
+    host_threads: Option<u64>,
+}
+
+/// Worker count a thread-scaling bench key declares
+/// (`"engine_par/8t/10000"` → 8); `None` for ordinary keys.
+fn id_threads(key: &str) -> Option<u64> {
+    key.split('/')
+        .nth(1)?
+        .strip_suffix('t')
+        .and_then(|d| d.parse().ok())
+}
+
+fn load(path: &str) -> Result<BenchFile, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let json = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let host_threads = json
+        .get("host_threads")
+        .and_then(Json::as_f64)
+        .map(|x| x as u64);
     let benches = json
         .get("benches")
         .and_then(Json::as_arr)
         .ok_or_else(|| format!("{path}: missing \"benches\" array"))?;
-    benches
+    let entries = benches
         .iter()
         .map(|b| {
             let group = b
@@ -48,7 +77,11 @@ fn load(path: &str) -> Result<Vec<Entry>, String> {
                 mean_s,
             })
         })
-        .collect()
+        .collect::<Result<Vec<Entry>, String>>()?;
+    Ok(BenchFile {
+        entries,
+        host_threads,
+    })
 }
 
 fn fmt_ms(secs: f64) -> String {
@@ -91,6 +124,26 @@ fn main() -> ExitCode {
         (Err(e), _) | (_, Err(e)) => return die(&e),
     };
 
+    // Thread-scaling entries are only comparable between equal-core
+    // hosts (see module docs).
+    let cores_match = match (baseline.host_threads, current.host_threads) {
+        (Some(b), Some(c)) => b == c,
+        _ => false,
+    };
+    if !cores_match {
+        eprintln!(
+            "warning: host_threads differ (baseline: {}, current: {}) — \
+             thread-scaling benches (<k>t ids, k > 1) are reported but NOT gated; \
+             refresh BENCH_baseline.json from a matching host to re-arm them",
+            baseline
+                .host_threads
+                .map_or_else(|| "unrecorded".into(), |t| t.to_string()),
+            current
+                .host_threads
+                .map_or_else(|| "unrecorded".into(), |t| t.to_string()),
+        );
+    }
+
     let keep = |key: &str| only.as_deref().is_none_or(|prefix| key.starts_with(prefix));
     let mut failures = 0usize;
     let mut compared = 0usize;
@@ -102,11 +155,21 @@ fn main() -> ExitCode {
         "ratio",
         max_regress * 100.0
     );
-    for cur in current.iter().filter(|e| keep(&e.key)) {
-        match baseline.iter().find(|b| b.key == cur.key) {
+    for cur in current.entries.iter().filter(|e| keep(&e.key)) {
+        match baseline.entries.iter().find(|b| b.key == cur.key) {
             Some(base) => {
-                compared += 1;
                 let ratio = cur.mean_s / base.mean_s;
+                if !cores_match && id_threads(&cur.key).is_some_and(|t| t > 1) {
+                    println!(
+                        "{:<32} {:>12} {:>12} {:>7.2}x  host_threads mismatch (not gated)",
+                        cur.key,
+                        fmt_ms(base.mean_s),
+                        fmt_ms(cur.mean_s),
+                        ratio,
+                    );
+                    continue;
+                }
+                compared += 1;
                 let regressed = ratio > 1.0 + max_regress;
                 if regressed {
                     failures += 1;
@@ -128,8 +191,8 @@ fn main() -> ExitCode {
             ),
         }
     }
-    for base in baseline.iter().filter(|e| keep(&e.key)) {
-        if !current.iter().any(|c| c.key == base.key) {
+    for base in baseline.entries.iter().filter(|e| keep(&e.key)) {
+        if !current.entries.iter().any(|c| c.key == base.key) {
             println!(
                 "{:<32} {:>12} {:>12}   missing from current (not gated)",
                 base.key,

@@ -6,18 +6,23 @@
 //! `n = 2¹⁸ … 2²⁰` (raise `ADHOC_RADIO_E18_MAX_EXP` to 21+ for the full
 //! million-node column; the default keeps the committed JSON
 //! regenerable in reasonable wall-clock on one core) on both `G(n,p)`
-//! and geometric topologies, driving the engine's intra-run parallel
-//! scatter ([`radio_sim::Engine::run_par`]) instead of trial-level
-//! fan-out: at these sizes a single run saturates memory bandwidth, so
-//! the sweep is built `with_threads_per_run` and each trial hands the
-//! engine `EngineConfig::with_threads`.
+//! and geometric topologies, driving the **fused v2 engine**
+//! ([`radio_sim::Engine::run_fused`]) instead of trial-level fan-out: at
+//! these sizes a single run saturates memory bandwidth, so the sweep is
+//! built `with_threads_per_run` and each trial hands the engine
+//! `EngineConfig::with_threads`. Under the v2 counter-based per-node
+//! stream contract the decide phase — one RNG draw per awake node per
+//! round, the serial bottleneck that Amdahl-capped the v1 `run_par`
+//! here — fans out with the scatter.
 //!
 //! Reported per cell: mean rounds, mean total messages, messages per
 //! node, and a wall-clock column (seconds per trial, *not* serialized —
 //! the JSON stays a pure function of the sweep description).
 //!
 //! JSON: `results/sweep_e18.json` — bit-identical for any thread count
-//! by the engine's receiver-range-partition contract.
+//! by the v2 stream contract (`(run_seed, node, round)`-keyed draws +
+//! receiver-range scatter). Note the v2 switch changed these bytes
+//! relative to the PR-4 file, which consumed the v1 shared stream.
 //!
 //! Env knobs (the examples' scale-shrinking idiom):
 //! `ADHOC_RADIO_E18_MIN_EXP` / `ADHOC_RADIO_E18_MAX_EXP` bound the
@@ -30,11 +35,11 @@ use crate::{Ctx, Report};
 use radio_core::broadcast::decay::DecayConfig;
 use radio_core::broadcast::ee_random::{EeBroadcastConfig, EeRandomBroadcast};
 use radio_core::broadcast::flood::FloodConfig;
-use radio_core::broadcast::windowed::run_windowed;
+use radio_core::broadcast::windowed::run_windowed_fused;
 use radio_graph::{DiGraph, GraphFamily};
-use radio_sim::engine::run_protocol;
+use radio_sim::engine::run_protocol_fused;
 use radio_sim::{EngineConfig, Protocol, Sweep, SweepCell, TrialResult};
-use radio_util::{derive_rng, TextTable};
+use radio_util::TextTable;
 
 /// Degree factor: expected degree is `DEGREE_C · ln n` for both families
 /// — the workspace's standard `p = 8 ln n / n` regime, which satisfies
@@ -85,9 +90,14 @@ fn p_equiv(cell: &SweepCell, graph: &DiGraph) -> f64 {
     }
 }
 
-/// One trial: run `cell.algorithm` with `threads` intra-run scatter
-/// workers. Pure in `(cell, graph, seed)` — the thread count cannot
-/// influence the result (property-tested in `tests/determinism.rs`).
+/// One trial: run `cell.algorithm` through the **fused v2 engine**
+/// ([`radio_sim::Engine::run_fused`]) with `threads` intra-run workers —
+/// under the v2 contract the decide phase fans out with the scatter, so
+/// run-level parallelism covers the whole round, not just the
+/// collision count. Pure in `(cell, graph, seed)` — the thread count
+/// cannot influence the result (property-tested in
+/// `tests/determinism.rs`, asserted on the JSON bytes by the smoke
+/// test).
 fn scale_trial(cell: &SweepCell, graph: &DiGraph, seed: u64, threads: usize) -> TrialResult {
     let n = cell.n;
     let cfg = |max_rounds: u64| EngineConfig::with_max_rounds(max_rounds).with_threads(threads);
@@ -95,18 +105,17 @@ fn scale_trial(cell: &SweepCell, graph: &DiGraph, seed: u64, threads: usize) -> 
         "alg1" => {
             let acfg = EeBroadcastConfig::for_gnp(n, p_equiv(cell, graph));
             let mut protocol = EeRandomBroadcast::new(n, 0, acfg);
-            let mut rng = derive_rng(seed, b"engine", 0);
-            let run = run_protocol(graph, &mut protocol, cfg(acfg.schedule_end() + 2), &mut rng);
+            let run = run_protocol_fused(graph, &mut protocol, cfg(acfg.schedule_end() + 2), seed);
             let informed = protocol.informed_count();
             TrialResult::from_run(&run, informed == n, informed)
         }
         "flood" => {
             let fcfg = FloodConfig::with_prob(flood_q(n), DecayConfig::new(n, D_HINT).max_rounds());
-            run_windowed(graph, 0, fcfg.spec(), cfg(fcfg.max_rounds), seed).to_trial()
+            run_windowed_fused(graph, 0, fcfg.spec(), cfg(fcfg.max_rounds), seed).to_trial()
         }
         "decay" => {
             let dcfg = DecayConfig::new(n, D_HINT);
-            run_windowed(graph, 0, dcfg.spec(), cfg(dcfg.max_rounds()), seed).to_trial()
+            run_windowed_fused(graph, 0, dcfg.spec(), cfg(dcfg.max_rounds()), seed).to_trial()
         }
         other => unreachable!("unknown algorithm {other}"),
     };
@@ -236,9 +245,10 @@ pub fn run_scaled(ctx: &Ctx, min_exp: u32, max_exp: u32, threads: usize) -> Repo
         };
         report.para(format!(
             "Scaling on `{}` (expected degree {DEGREE_C}·ln n, {trials} \
-             trials/cell, {threads} scatter thread(s) per run — run-level \
+             trials/cell, {threads} fused worker(s) per run — run-level \
              parallelism via `Sweep::with_threads_per_run` + \
-             `EngineConfig::with_threads`; results are thread-count \
+             `EngineConfig::with_threads`, decide + scatter fused under \
+             the v2 per-node stream contract; results are thread-count \
              independent). {story} Wall-clock is per trial, graph \
              generation included, and is *not* serialized to the sweep \
              JSON (which stays deterministic).",

@@ -164,37 +164,11 @@ impl Protocol for EeRandomBroadcast {
     }
 
     fn decide(&mut self, node: NodeId, round: u64, rng: &mut ChaCha8Rng) -> Action {
-        if self.state[node as usize] != Some(NodeState::Active) {
-            // Passive node re-woken by a duplicate reception.
-            return Action::Sleep;
-        }
-        let p = self.cfg.params;
-        let phase2_round = p.use_phase2.then_some(p.t + 1);
-        if round <= p.t {
-            // Phase 1: transmit once, become passive.
-            self.transmit_now(node)
-        } else if Some(round) == phase2_round {
-            // Phase 2: transmit w.p. 1/(d^T p); passivation per config.
-            if rng.random_bool(p.q2) {
-                self.transmit_now(node)
-            } else if self.cfg.phase2_all_passive {
-                self.go_passive(node);
-                Action::Sleep
-            } else {
-                Action::Silent
-            }
-        } else if round <= self.cfg.schedule_end() {
-            // Phase 3: transmit w.p. q3; only transmitters passivate.
-            if rng.random_bool(p.q3) {
-                self.transmit_now(node)
-            } else {
-                Action::Silent
-            }
-        } else {
-            // Schedule over.
-            self.go_passive(node);
-            Action::Sleep
-        }
+        // One copy of the phase logic: the v1 entry point is the pure
+        // half plus the commit half over the shared serial stream (same
+        // draws, same passivation — bit-compatible with the pre-split
+        // code; the phase structure itself lives in `decide_pure`).
+        radio_sim::FusedDecide::decide_and_commit(self, node, round, rng)
     }
 
     fn payload(&self, _node: NodeId, _round: u64) -> Self::Msg {}
@@ -247,6 +221,56 @@ impl Protocol for EeRandomBroadcast {
     }
 }
 
+impl radio_sim::FusedDecide for EeRandomBroadcast {
+    fn decide_pure(&self, node: NodeId, round: u64, rng: &mut ChaCha8Rng) -> Action {
+        if self.state[node as usize] != Some(NodeState::Active) {
+            // Passive node re-woken by a duplicate reception.
+            return Action::Sleep;
+        }
+        let p = self.cfg.params;
+        let phase2_round = p.use_phase2.then_some(p.t + 1);
+        if round <= p.t {
+            // Phase 1: transmit once, become passive (on commit).
+            Action::Transmit
+        } else if Some(round) == phase2_round {
+            // Phase 2: transmit w.p. 1/(d^T p); passivation per config.
+            if rng.random_bool(p.q2) {
+                Action::Transmit
+            } else if self.cfg.phase2_all_passive {
+                Action::Sleep
+            } else {
+                Action::Silent
+            }
+        } else if round <= self.cfg.schedule_end() {
+            // Phase 3: transmit w.p. q3; only transmitters passivate.
+            if rng.random_bool(p.q3) {
+                Action::Transmit
+            } else {
+                Action::Silent
+            }
+        } else {
+            // Schedule over.
+            Action::Sleep
+        }
+    }
+
+    fn commit_decide(&mut self, node: NodeId, _round: u64, action: Action) {
+        match action {
+            // Every transmission passivates, in every phase (and trips
+            // the double-send detector behind the ≤ 1 invariant).
+            Action::Transmit => {
+                let _ = self.transmit_now(node);
+            }
+            // Sleep from an active node means Phase-2 passivation or the
+            // schedule ending; from an already-passive node (re-woken by
+            // a duplicate reception) there is nothing to apply —
+            // `go_passive` is a no-op for non-active nodes either way.
+            Action::Sleep => self.go_passive(node),
+            Action::Silent => {}
+        }
+    }
+}
+
 /// Run Algorithm 1 on `graph` from `source`.
 pub fn run_ee_broadcast(
     graph: &DiGraph,
@@ -266,6 +290,30 @@ pub fn run_ee_broadcast_traced(
     seed: u64,
 ) -> BroadcastOutcome {
     run_ee_broadcast_with(graph, source, cfg, seed, true)
+}
+
+/// Run Algorithm 1 under the **v2 determinism contract**
+/// ([`radio_sim::Engine::run_fused`]): per-node counter-based decide
+/// streams, bit-identical for every `engine` thread count (set via
+/// `EngineConfig::with_threads` inside — here the default serial
+/// config; use [`radio_sim::engine::run_protocol_fused`] directly for
+/// explicit thread counts). Statistically equivalent to, but not
+/// bit-compatible with, the v1 [`run_ee_broadcast`] on the same seed.
+pub fn run_ee_broadcast_fused(
+    graph: &DiGraph,
+    source: NodeId,
+    cfg: &EeBroadcastConfig,
+    seed: u64,
+) -> BroadcastOutcome {
+    let mut protocol = EeRandomBroadcast::new(graph.n(), source, *cfg);
+    let engine_cfg = EngineConfig::with_max_rounds(cfg.schedule_end() + 2);
+    let run = radio_sim::engine::run_protocol_fused(graph, &mut protocol, engine_cfg, seed);
+    BroadcastOutcome::from_run(
+        graph.n(),
+        protocol.informed_count(),
+        protocol.broadcast_time(),
+        run,
+    )
 }
 
 fn run_ee_broadcast_with(
@@ -459,6 +507,43 @@ mod tests {
         let b = run_ee_broadcast(&g, 0, &cfg, 11);
         assert_eq!(a.broadcast_time, b.broadcast_time);
         assert_eq!(a.metrics.per_node(), b.metrics.per_node());
+    }
+
+    #[test]
+    fn fused_v2_informs_everyone_and_keeps_the_invariant() {
+        // The v2 contract must preserve Algorithm 1's structure: w.h.p.
+        // completion on sparse Gnp and the ≤ 1-transmission invariant
+        // (which is structural, so it holds on *every* run).
+        for seed in 0..5 {
+            let (g, cfg) = sparse_instance(1024, 8.0, seed);
+            let out = run_ee_broadcast_fused(&g, 0, &cfg, seed);
+            assert!(
+                out.all_informed,
+                "seed {seed}: {}/{} informed",
+                out.informed, out.n
+            );
+            assert!(out.max_msgs_per_node() <= 1);
+        }
+    }
+
+    #[test]
+    fn fused_v2_is_bit_identical_across_thread_counts() {
+        use radio_sim::{engine::run_protocol_fused, EngineConfig, Protocol};
+        let (g, cfg) = sparse_instance(512, 8.0, 21);
+        let run_at = |threads: usize| {
+            let mut protocol = EeRandomBroadcast::new(512, 0, cfg);
+            let engine_cfg = EngineConfig {
+                par_min_edges: 0,
+                par_min_awake: 0, // force the parallel decide path
+                ..EngineConfig::with_max_rounds(cfg.schedule_end() + 2)
+            };
+            let run = run_protocol_fused(&g, &mut protocol, engine_cfg.with_threads(threads), 9);
+            (run.rounds, run.metrics, protocol.informed_count())
+        };
+        let serial = run_at(1);
+        for threads in [2, 8] {
+            assert_eq!(serial, run_at(threads), "{threads} threads diverged");
+        }
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub mod flood;
 pub mod windowed;
 
 pub use windowed::{
-    run_windowed, run_windowed_energy, ProbSource, WindowedBroadcast, WindowedSpec,
+    run_windowed, run_windowed_energy, run_windowed_fused, ProbSource, WindowedBroadcast,
+    WindowedSpec,
 };
 
 use radio_sim::{EnergyMetrics, EnergyRunResult, Metrics, RunResult, Trace};

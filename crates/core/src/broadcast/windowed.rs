@@ -44,11 +44,25 @@ pub enum ProbSource {
 }
 
 impl ProbSource {
-    /// The send probability for `node` in `round` (may consume `rng` for
-    /// `Private`).
-    fn q(&mut self, round: u64, rng: &mut ChaCha8Rng) -> f64 {
+    /// Serial per-round preamble: materialise any lazily-expanded shared
+    /// state (Algorithm 3's sequence, which draws from its *own* stream)
+    /// so [`q_pure`](Self::q_pure) can run read-only — on the fused
+    /// engine's worker threads, or ahead of the v1 poll sweep.
+    fn prepare(&mut self, round: u64) {
+        if let ProbSource::Shared(seq) = self {
+            seq.ensure(round);
+        }
+    }
+
+    /// The send probability for `round`, read-only; call
+    /// [`prepare`](Self::prepare) for the round first. `Private` draws
+    /// from `rng` — the shared serial stream under v1, the node's own
+    /// counter-based stream under the fused v2 contract (which makes the
+    /// paper's §4.2 model literal: each node privately samples its `k`
+    /// every round).
+    fn q_pure(&self, round: u64, rng: &mut ChaCha8Rng) -> f64 {
         match self {
-            ProbSource::Shared(seq) => seq.q(round),
+            ProbSource::Shared(seq) => seq.q_cached(round),
             ProbSource::Cycle(c) => c[((round - 1) % c.len() as u64) as usize],
             ProbSource::Private(dist) => match dist.sample(rng) {
                 Some(k) => 2f64.powi(-(k as i32)),
@@ -113,23 +127,13 @@ impl Protocol for WindowedBroadcast {
     }
 
     fn decide(&mut self, node: NodeId, round: u64, rng: &mut ChaCha8Rng) -> Action {
-        assert!(
-            self.informed.is_informed(node),
-            "uninformed node was polled"
-        );
-        let t_u = self.informed.informed_round(node);
-        if let Some(w) = self.spec.window {
-            if round > t_u + w {
-                self.active -= 1;
-                return Action::Sleep;
-            }
-        }
-        let q = self.spec.source.q(round, rng);
-        if q >= 1.0 || (q > 0.0 && rng.random_bool(q)) {
-            Action::Transmit
-        } else {
-            Action::Silent
-        }
+        // One copy of the decision logic: the v1 entry point is the
+        // pure half plus the commit half over the shared serial stream.
+        // The draw pattern matches the pre-split code exactly (the
+        // shared sequence expands from its own stream; `Private`
+        // samples from `rng`), so v1 trajectories stay bit-compatible.
+        self.spec.source.prepare(round);
+        radio_sim::FusedDecide::decide_and_commit(self, node, round, rng)
     }
 
     fn payload(&self, _node: NodeId, _round: u64) -> Self::Msg {}
@@ -181,6 +185,40 @@ impl Protocol for WindowedBroadcast {
     }
 }
 
+impl radio_sim::FusedDecide for WindowedBroadcast {
+    fn begin_round(&mut self, round: u64) {
+        self.spec.source.prepare(round);
+    }
+
+    fn decide_pure(&self, node: NodeId, round: u64, rng: &mut ChaCha8Rng) -> Action {
+        assert!(
+            self.informed.is_informed(node),
+            "uninformed node was polled"
+        );
+        let t_u = self.informed.informed_round(node);
+        if let Some(w) = self.spec.window {
+            if round > t_u + w {
+                return Action::Sleep;
+            }
+        }
+        let q = self.spec.source.q_pure(round, rng);
+        if q >= 1.0 || (q > 0.0 && rng.random_bool(q)) {
+            Action::Transmit
+        } else {
+            Action::Silent
+        }
+    }
+
+    fn commit_decide(&mut self, _node: NodeId, _round: u64, action: Action) {
+        // The only state `decide` changes is the active count on window
+        // retirement; transmitting and staying silent leave a windowed
+        // node's state untouched.
+        if action == Action::Sleep {
+            self.active -= 1;
+        }
+    }
+}
+
 /// Run a windowed broadcast and package the outcome.
 pub fn run_windowed(
     graph: &DiGraph,
@@ -218,6 +256,31 @@ pub fn run_windowed_energy(
     let run =
         radio_sim::engine::run_protocol_energy(graph, &mut protocol, engine_cfg, &mut rng, session);
     BroadcastOutcome::from_energy_run(
+        graph.n(),
+        protocol.informed_count(),
+        protocol.broadcast_time(),
+        run,
+    )
+}
+
+/// [`run_windowed`] under the **v2 determinism contract**
+/// ([`radio_sim::Engine::run_fused`]): every node's coin flips come from
+/// its own counter-based stream derived from `(run_seed, node)`, so the
+/// run is bit-identical for every engine thread count — including
+/// `engine_cfg.threads > 1`, where the decide phase itself fans out.
+/// Statistically equivalent to (but not bit-compatible with) the v1
+/// [`run_windowed`] on the same seed; `tests/v2_equivalence.rs`
+/// cross-validates the two.
+pub fn run_windowed_fused(
+    graph: &DiGraph,
+    source: NodeId,
+    spec: WindowedSpec,
+    engine_cfg: EngineConfig,
+    run_seed: u64,
+) -> BroadcastOutcome {
+    let mut protocol = WindowedBroadcast::new(graph.n(), source, spec);
+    let run = radio_sim::engine::run_protocol_fused(graph, &mut protocol, engine_cfg, run_seed);
+    BroadcastOutcome::from_run(
         graph.n(),
         protocol.informed_count(),
         protocol.broadcast_time(),
@@ -287,10 +350,56 @@ mod tests {
     fn cycle_source_round_robins() {
         let mut src = ProbSource::Cycle(vec![1.0, 0.5, 0.25]);
         let mut rng = radio_util::derive_rng(0, b"t", 0);
-        assert_eq!(src.q(1, &mut rng), 1.0);
-        assert_eq!(src.q(2, &mut rng), 0.5);
-        assert_eq!(src.q(3, &mut rng), 0.25);
-        assert_eq!(src.q(4, &mut rng), 1.0);
+        for (round, expect) in [(1, 1.0), (2, 0.5), (3, 0.25), (4, 1.0)] {
+            src.prepare(round);
+            assert_eq!(src.q_pure(round, &mut rng), expect);
+        }
+    }
+
+    #[test]
+    fn fused_v2_crosses_path_and_respects_windows() {
+        // q = 1 with window 1: the fused run must reproduce the windowed
+        // semantics exactly (one shot per node, message still crosses).
+        let g = path(8);
+        let spec = WindowedSpec {
+            source: ProbSource::Fixed(1.0),
+            window: Some(1),
+            early_stop: false,
+        };
+        let out = run_windowed_fused(&g, 0, spec, EngineConfig::with_max_rounds(100), 5);
+        assert!(out.all_informed);
+        assert!(out.max_msgs_per_node() <= 1);
+    }
+
+    #[test]
+    fn fused_v2_all_prob_sources_run_and_are_seed_deterministic() {
+        use crate::seq::{KDistribution, SharedSequence};
+        let g = path(16);
+        let dist = KDistribution::paper_alpha(16, 3.0);
+        let sources: Vec<ProbSource> = vec![
+            ProbSource::Fixed(0.6),
+            ProbSource::Cycle(vec![1.0, 0.5, 0.25]),
+            ProbSource::Shared(SharedSequence::new(dist.clone(), 77)),
+            ProbSource::Private(dist),
+        ];
+        for source in sources {
+            let spec = WindowedSpec {
+                source,
+                window: None,
+                early_stop: true,
+            };
+            let run = |seed: u64| {
+                let out = run_windowed_fused(
+                    &g,
+                    0,
+                    spec.clone(),
+                    EngineConfig::with_max_rounds(5000),
+                    seed,
+                );
+                (out.broadcast_time, out.metrics.total_transmissions())
+            };
+            assert_eq!(run(3), run(3));
+        }
     }
 
     #[test]

@@ -44,6 +44,23 @@ impl SharedSequence {
         self.qs[idx]
     }
 
+    /// Expand the sequence through `round` without returning anything —
+    /// the fused engine's serial per-round preamble, after which
+    /// [`q_cached`](Self::q_cached) can serve any number of read-only
+    /// consumers (decide workers) concurrently.
+    pub fn ensure(&mut self, round: u64) {
+        let _ = self.q(round);
+    }
+
+    /// Read-only `q` for an already-expanded round.
+    ///
+    /// # Panics
+    /// Panics if `round` has not been expanded yet (call
+    /// [`q`](Self::q) or [`ensure`](Self::ensure) first).
+    pub fn q_cached(&self, round: u64) -> f64 {
+        self.qs[(round - 1) as usize]
+    }
+
     /// The underlying distribution.
     pub fn distribution(&self) -> &KDistribution {
         &self.dist

@@ -75,6 +75,12 @@ impl Csr {
     }
 
     /// Build from per-row neighbor lists (each row is sorted on insert).
+    ///
+    /// Rows that are already sorted — the common case: the generators
+    /// emit neighbors in ascending order, and `to_adj_lists` round-trips
+    /// sorted rows — are copied straight into the flat array; only
+    /// unsorted rows pay the clone + sort. The sortedness check is one
+    /// linear scan of data the copy touches anyway.
     pub fn from_adj_lists(lists: &[Vec<NodeId>]) -> Self {
         let nnz: usize = lists.iter().map(Vec::len).sum();
         assert!(
@@ -85,9 +91,13 @@ impl Csr {
         let mut neighbors = Vec::with_capacity(nnz);
         offsets.push(0u32);
         for row in lists {
-            let mut sorted = row.clone();
-            sorted.sort_unstable();
-            neighbors.extend_from_slice(&sorted);
+            if row.windows(2).all(|w| w[0] <= w[1]) {
+                neighbors.extend_from_slice(row);
+            } else {
+                let mut sorted = row.clone();
+                sorted.sort_unstable();
+                neighbors.extend_from_slice(&sorted);
+            }
             offsets.push(neighbors.len() as u32);
         }
         Csr { offsets, neighbors }
@@ -209,6 +219,34 @@ mod tests {
     fn from_adj_lists_sorts_rows() {
         let c = Csr::from_adj_lists(&[vec![2, 1], vec![]]);
         assert_eq!(c.row(0), &[1, 2]);
+    }
+
+    #[test]
+    fn from_adj_lists_sorted_fast_path_matches_sort_path() {
+        // Mixed input: sorted rows (fast path, including duplicates and
+        // single-element rows), an unsorted row (sort path), and empty
+        // rows must all land in the identical CSR.
+        let mixed = vec![
+            vec![0, 3, 7], // sorted
+            vec![5, 2, 9], // unsorted
+            vec![],        // empty
+            vec![4],       // singleton
+            vec![1, 1, 2], // sorted with duplicate entries
+            vec![8, 8, 0], // unsorted with duplicates
+        ];
+        let via_mixed = Csr::from_adj_lists(&mixed);
+        let presorted: Vec<Vec<NodeId>> = mixed
+            .iter()
+            .map(|r| {
+                let mut s = r.clone();
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        assert_eq!(via_mixed, Csr::from_adj_lists(&presorted));
+        assert_eq!(via_mixed.row(1), &[2, 5, 9]);
+        assert_eq!(via_mixed.row(4), &[1, 1, 2]);
+        assert_eq!(via_mixed.row(5), &[0, 8, 8]);
     }
 
     #[test]

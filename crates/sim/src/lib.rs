@@ -42,6 +42,18 @@
 //! trial-level for run-level parallelism via
 //! [`Sweep::with_threads_per_run`].
 //!
+//! The **v2 determinism contract** ([`streams`]) goes further: protocols
+//! that split their decision into a pure half and a commit half
+//! ([`FusedDecide`]) run on the *fused* engine ([`Engine::run_fused`],
+//! [`engine::run_protocol_fused`]), where every coin flip comes from a
+//! counter-based per-node stream keyed by `(run_seed, node)` with the
+//! round as block counter — so the decide phase itself fans out across
+//! the workers, removing the serial-RNG Amdahl cap, still bit-identical
+//! for every thread count by construction. v1 and v2 runs of the same
+//! seed differ (statistically equivalently); `tests/v2_equivalence.rs`
+//! cross-validates the contracts against the frozen [`reference`]
+//! oracle.
+//!
 //! The paper's transmissions-only energy measure generalises through the
 //! [`energy`] overlay (`radio-energy`): the `*_energy` entry points
 //! ([`Engine::run_energy`], [`run_protocol_energy`],
@@ -59,6 +71,7 @@ pub mod engine;
 pub mod fault;
 pub mod metrics;
 pub mod reference;
+pub mod streams;
 pub mod sweep;
 pub mod trials;
 
@@ -69,14 +82,16 @@ pub use radio_energy as energy;
 
 pub use baseline::{run_adjlist, AdjListGraph};
 pub use engine::{
-    run_dynamic, run_dynamic_energy, run_protocol_energy, run_protocol_par,
-    run_protocol_par_energy, EnergyRunResult, Engine, EngineConfig, RunResult,
+    run_dynamic, run_dynamic_energy, run_protocol_energy, run_protocol_fused,
+    run_protocol_fused_energy, run_protocol_par, run_protocol_par_energy, EnergyRunResult, Engine,
+    EngineConfig, RunResult,
 };
 pub use fault::{CrashPlan, Faulty};
 pub use metrics::{EnergyMetrics, Metrics, RoundRecord, Trace};
 pub use radio_energy::{
     Battery, Duty, EnergyModel, EnergySession, FadingRadio, LinearRadio, TxOnly,
 };
+pub use streams::DecideStreams;
 pub use sweep::{
     CellResults, CellSummary, Sweep, SweepCell, SweepReport, TrialEnergy, TrialResult,
 };
@@ -163,5 +178,66 @@ pub trait Protocol {
     /// to receive.
     fn radio_off(&self, _node: NodeId, _round: u64) -> bool {
         false
+    }
+}
+
+/// Opt-in for the **fused v2 engine** ([`Engine::run_fused`]): the
+/// per-round decision split into a *pure* evaluation half — callable
+/// from any worker thread against shared `&self` — and a *serial*
+/// commit half that applies the state transition.
+///
+/// This is the protocol-side of the v2 determinism contract
+/// ([`streams::DecideStreams`]): because every node's coin flips come
+/// from its own counter-based stream, `decide_pure(v, round, …)` depends
+/// only on the protocol state at the start of the round and on `v`'s own
+/// draws — never on the order other nodes are evaluated in — so the
+/// engine may evaluate nodes concurrently and the result is the same for
+/// every thread count.
+///
+/// # Contract
+///
+/// * `decide_pure` must be a pure function of `(self, node, round)` and
+///   the draws it takes from `rng` (the node's positioned v2 decide
+///   stream). It must not mutate anything — the receiver is shared
+///   across workers.
+/// * A [`Action::Silent`] decision must imply **no state change**; the
+///   engine does not call `commit_decide` for silent nodes (this is what
+///   keeps the serial half of the round `O(transmitters + sleepers)`
+///   instead of `O(awake)`).
+/// * `commit_decide` is called serially, in poll (awake-list) order, for
+///   every `Transmit`/`Sleep` decision, and must apply exactly the state
+///   transition the v1 `decide` would have applied alongside returning
+///   that action.
+/// * `begin_round` runs serially before any `decide_pure` of the round —
+///   the hook for per-round shared state (e.g. expanding Algorithm 3's
+///   shared sequence) so `decide_pure` can stay read-only.
+///
+/// `Sync` is required because workers evaluate `decide_pure` against
+/// `&self` concurrently.
+pub trait FusedDecide: Protocol + Sync {
+    /// Serial per-round preamble; default no-op.
+    fn begin_round(&mut self, _round: u64) {}
+
+    /// Pure decision for an awake node (see the trait docs for the
+    /// purity contract). `rng` is the node's v2 decide stream, already
+    /// positioned at `(node, round)`.
+    fn decide_pure(&self, node: NodeId, round: u64, rng: &mut ChaCha8Rng) -> Action;
+
+    /// Serially apply the state transition of a non-`Silent` decision.
+    fn commit_decide(&mut self, node: NodeId, round: u64, action: Action);
+
+    /// The two halves glued back together — evaluate the pure half on
+    /// `rng` and commit any non-silent decision. Provided once so that
+    /// `Protocol::decide` impls can derive the v1 entry point from the
+    /// split without re-stating the Silent-implies-no-commit contract
+    /// (call [`begin_round`](Self::begin_round)-equivalent preparation
+    /// first if the protocol needs it; with matching draw patterns the
+    /// result is bit-compatible with a hand-written `decide`).
+    fn decide_and_commit(&mut self, node: NodeId, round: u64, rng: &mut ChaCha8Rng) -> Action {
+        let action = self.decide_pure(node, round, rng);
+        if action != Action::Silent {
+            self.commit_decide(node, round, action);
+        }
+        action
     }
 }

@@ -13,12 +13,22 @@
 //!    `results/`.
 //!
 //! Execution fans out over rayon with one flattened task per
-//! `(cell, trial)`. Every trial owns an independent ChaCha8 stream derived
-//! from `(base_seed, cell index, trial index)` via
+//! `(cell, trial)`. Every trial owns an independent seed derived from
+//! `(base_seed, cell index, trial index)` via
 //! [`split_seed`](radio_util::split_seed), so results are a pure function
 //! of the sweep description — bit-identical on 1 thread or N (the
 //! determinism tests in `tests/determinism.rs` assert exactly this on the
 //! JSON bytes).
+//!
+//! The trial seed serves both determinism contracts: a v1 runner feeds
+//! it to `derive_rng(seed, label, 0)` for the shared serial stream, a
+//! v2 runner passes it straight to the fused engine
+//! ([`run_protocol_fused`](crate::engine::run_protocol_fused)) as the
+//! `run_seed` its per-node counter-based streams derive from. Either
+//! way the report bytes depend only on the sweep description (and on
+//! which contract the runner picked — switching contracts changes the
+//! trajectories, so regenerate the committed JSON when porting an
+//! experiment to v2).
 
 use radio_graph::{DiGraph, GraphFamily};
 use radio_stats::SummaryStats;

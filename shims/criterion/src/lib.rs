@@ -352,9 +352,17 @@ fn json_escape(s: &str) -> String {
 
 /// Serialize every recorded result. Stable field order, one bench per
 /// entry, floats via shortest-roundtrip `Display`.
+///
+/// The top-level `host_threads` field records the machine parallelism
+/// the benches ran with: thread-scaling benches (`engine_par/8t`,
+/// `engine_fused/8t`, …) measure *speedup* on a multi-core host but
+/// *partition overhead* on a single-core one, so a comparison across
+/// differing core counts is meaningless — `bench_compare` uses this
+/// field to warn instead of gate in that case.
 pub fn results_to_json() -> String {
     let results = RESULTS.lock().expect("results poisoned");
-    let mut out = String::from("{\n  \"benches\": [");
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut out = format!("{{\n  \"host_threads\": {host_threads},\n  \"benches\": [");
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
             out.push(',');

@@ -100,6 +100,31 @@ impl ChaCha8Rng {
         // counter blocks fully generated, minus the unread tail of `buf`.
         self.counter * 16 - (16 - self.index) as u64
     }
+
+    /// Jump the keystream to the start of 64-byte `block` — ChaCha's
+    /// native counter-mode seek. The next draw reads word 0 of that
+    /// block; nothing is computed until then (block generation is lazy),
+    /// so constructing a stream and seeking it is just state setup.
+    ///
+    /// This is what makes **counter-based sub-streams** possible: with a
+    /// per-entity key, `(entity, index) → set_block_pos(index)` gives a
+    /// random-access family of 16-word draws that any thread can evaluate
+    /// independently — the v2 per-node decide streams of `radio-sim`.
+    #[inline]
+    pub fn set_block_pos(&mut self, block: u64) {
+        self.counter = block;
+        self.index = 16; // force a (lazy) refill at the next draw
+    }
+
+    /// The block index the next draw will read from (the inverse of
+    /// [`set_block_pos`](Self::set_block_pos) at block granularity).
+    pub fn block_pos(&self) -> u64 {
+        if self.index == 16 {
+            self.counter
+        } else {
+            self.counter - 1
+        }
+    }
 }
 
 impl SeedableRng for ChaCha8Rng {
@@ -110,15 +135,16 @@ impl SeedableRng for ChaCha8Rng {
         for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
             *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
         }
-        let mut rng = ChaCha8Rng {
+        // Block generation is lazy (the first draw refills), so seeding
+        // costs only the key copy — important for the per-node decide
+        // streams, which construct + position a stream per decision and
+        // often draw a single word from it.
+        ChaCha8Rng {
             key,
             counter: 0,
             buf: [0; 16],
             index: 16,
-        };
-        // Pre-fill so `words_consumed` stays simple; stream position 0.
-        rng.refill();
-        rng
+        }
     }
 }
 
@@ -242,6 +268,29 @@ mod tests {
         let second_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
         assert_ne!(first_block, second_block);
         assert_eq!(rng.words_consumed(), 32);
+    }
+
+    #[test]
+    fn set_block_pos_matches_sequential_stream() {
+        // Random access must agree with sequential generation: seeking
+        // to block k and drawing 16 words reproduces words 16k..16k+16
+        // of the plain stream, for any visit order.
+        let mut seq = ChaCha8Rng::seed_from_u64(77);
+        let stream: Vec<u32> = (0..16 * 8).map(|_| seq.next_u32()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for &block in &[3u64, 0, 7, 1, 3] {
+            rng.set_block_pos(block);
+            assert_eq!(rng.block_pos(), block);
+            for w in 0..16 {
+                assert_eq!(
+                    rng.next_u32(),
+                    stream[block as usize * 16 + w],
+                    "block {block} word {w}"
+                );
+            }
+        }
+        // And a fresh stream is at block 0.
+        assert_eq!(ChaCha8Rng::seed_from_u64(77).block_pos(), 0);
     }
 
     #[test]

@@ -86,7 +86,9 @@ pub mod prelude {
     pub use radio_core::broadcast::cr::{run_cr_broadcast, CrBroadcastConfig};
     pub use radio_core::broadcast::decay::{run_decay_broadcast, DecayConfig};
     pub use radio_core::broadcast::ee_general::{run_general_broadcast, GeneralBroadcastConfig};
-    pub use radio_core::broadcast::ee_random::{run_ee_broadcast, EeBroadcastConfig};
+    pub use radio_core::broadcast::ee_random::{
+        run_ee_broadcast, run_ee_broadcast_fused, EeBroadcastConfig,
+    };
     pub use radio_core::broadcast::eg::{run_eg_broadcast, EgBroadcastConfig};
     pub use radio_core::broadcast::epoch::{run_epoch_broadcast, EpochBroadcastConfig};
     pub use radio_core::broadcast::flood::{run_flood_broadcast, FloodConfig};
@@ -108,8 +110,9 @@ pub mod prelude {
         induced_subgraph, largest_scc, strongly_connected_components, DiGraph, NodeId, Subgraph,
     };
     pub use radio_sim::{
-        run_dynamic, run_dynamic_energy, run_protocol_energy, CrashPlan, EnergyRunResult, Engine,
-        EngineConfig, Faulty, Metrics, Protocol, Sweep, SweepCell, SweepReport, TrialEnergy,
+        run_dynamic, run_dynamic_energy, run_protocol_energy, run_protocol_fused,
+        run_protocol_fused_energy, CrashPlan, DecideStreams, EnergyRunResult, Engine, EngineConfig,
+        Faulty, FusedDecide, Metrics, Protocol, Sweep, SweepCell, SweepReport, TrialEnergy,
         TrialResult,
     };
     pub use radio_stats::{mean, quantile, LinearFit, SummaryStats};

@@ -292,6 +292,120 @@ fn run_par_energy_is_bit_identical_to_serial() {
 }
 
 #[test]
+fn run_fused_is_bit_identical_across_families_and_channels() {
+    // The fused v2 engine's contract: decide, scatter, and delivery all
+    // run inside the worker partitioning, and the per-node counter-based
+    // streams make every phase order-independent — so for every graph
+    // family, half-duplex setting, and thread count, `run_fused_par`
+    // must reproduce the 1-thread fused run bit for bit (rounds, trace,
+    // per-node transmission vector, informed set).
+    use adhoc_radio::core::broadcast::windowed::{ProbSource, WindowedBroadcast, WindowedSpec};
+    use adhoc_radio::graph::GraphFamily;
+    use adhoc_radio::sim::EngineConfig;
+
+    let n = 400;
+    for (family, p) in [
+        (GraphFamily::GnpDirected, 0.06),
+        (
+            GraphFamily::Geometric,
+            adhoc_radio::graph::generate::GeoParams::with_expected_degree(n, 24.0).r_min,
+        ),
+    ] {
+        let g = family.generate(n, p, &mut derive_rng(61, b"fuse-g", 0));
+        for half_duplex in [true, false] {
+            let run_at = |threads: usize| {
+                let spec = WindowedSpec {
+                    source: ProbSource::Fixed(0.3),
+                    window: Some(6),
+                    early_stop: true,
+                };
+                let mut proto = WindowedBroadcast::new(n, 0, spec);
+                let cfg = EngineConfig {
+                    half_duplex,
+                    // Force both parallel paths every round, even on
+                    // this test-sized graph.
+                    par_min_edges: 0,
+                    par_min_awake: 0,
+                    ..EngineConfig::with_max_rounds(400).traced()
+                };
+                let res = adhoc_radio::sim::engine::run_protocol_fused(
+                    &g,
+                    &mut proto,
+                    cfg.with_threads(threads),
+                    0xF2,
+                );
+                let informed: Vec<u64> = (0..n as u32).map(|v| proto.informed_round(v)).collect();
+                (
+                    res.rounds,
+                    res.completed,
+                    res.hit_round_cap,
+                    res.metrics,
+                    res.trace,
+                    informed,
+                )
+            };
+            let serial = run_at(1);
+            for threads in [2, 4, 8] {
+                assert_eq!(
+                    serial,
+                    run_at(threads),
+                    "{} half_duplex={half_duplex} {threads} threads diverged",
+                    family.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn run_fused_energy_is_bit_identical_across_thread_counts() {
+    // Same contract under the energy overlay: duty charges happen on the
+    // serial side (commit + delivery) and battery depletion feeds back
+    // into both the decide workers (dead events) and delivery — none of
+    // which may depend on the thread count.
+    use adhoc_radio::core::broadcast::windowed::{ProbSource, WindowedBroadcast, WindowedSpec};
+    use adhoc_radio::sim::{Battery, EnergySession, EngineConfig, LinearRadio, Protocol};
+
+    let n = 300;
+    let g = gnp_directed(n, 0.08, &mut derive_rng(62, b"fusee-g", 0));
+    let run_at = |threads: usize| {
+        let spec = WindowedSpec {
+            source: ProbSource::Fixed(0.35),
+            window: None,
+            early_stop: false,
+        };
+        let mut proto = WindowedBroadcast::new(n, 0, spec);
+        let mut session = EnergySession::new(n, LinearRadio::with_listen_ratio(0.5), 13)
+            .with_battery(Battery::uniform(n, 30.0));
+        let cfg = EngineConfig {
+            par_min_edges: 0,
+            par_min_awake: 0,
+            ..EngineConfig::with_max_rounds(150)
+        };
+        let res = adhoc_radio::sim::engine::run_protocol_fused_energy(
+            &g,
+            &mut proto,
+            cfg.with_threads(threads),
+            0xE7,
+            &mut session,
+        );
+        (
+            res.run.rounds,
+            res.run.completed,
+            res.run.metrics,
+            res.energy.spent.clone(),
+            res.energy.first_depletion_round,
+            res.energy.depleted_nodes(),
+            proto.informed_count(),
+        )
+    };
+    let serial = run_at(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(serial, run_at(threads), "{threads} threads diverged");
+    }
+}
+
+#[test]
 fn sweep_json_is_bit_identical_across_thread_counts() {
     // The sweep API's contract: the serialized report is a pure function
     // of the sweep description. `run` fans out over all available rayon
