@@ -284,6 +284,52 @@ fn bench_engine_energy(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_topology_neighbors(c: &mut Criterion) {
+    // Neighbor-enumeration throughput through the `Topology` trait: a
+    // full sweep of `for_each_out` over every node, per backend, at the
+    // gate size and a shared expected degree. `csr` is the trait's cost
+    // on stored rows (the engine's pre-refactor fast path — this entry
+    // existing in the baseline is what pins "the trait costs nothing on
+    // CSR"); `grid` pays a torus cell scan with distance filtering per
+    // query, `gnp` a ChaCha8 re-seed plus a geometric skip-walk per row.
+    // The implicit entries are expected several× slower per edge than
+    // `csr` — that is the documented price of O(n)/O(1) memory — and the
+    // CI gate keeps each from regressing against itself.
+    use radio_graph::{ImplicitGnp, ImplicitGrid, Topology};
+
+    let mut group = c.benchmark_group("topology_neighbors");
+    group.sample_size(10);
+    let d = 6.0 * (N as f64).ln();
+
+    fn sweep<T: Topology>(t: &T) -> u64 {
+        let mut edges = 0u64;
+        for u in 0..t.n() as NodeId {
+            t.for_each_out(u, |v| edges += u64::from(v) & 1);
+        }
+        edges
+    }
+
+    let csr = storm_graph(N);
+    group.throughput(Throughput::Elements(csr.m() as u64));
+    group.bench_with_input(BenchmarkId::new("csr", N), &csr, |b, g| {
+        b.iter(|| black_box(sweep(g)));
+    });
+
+    let grid = ImplicitGrid::with_expected_degree(N, d, &mut derive_rng(7, b"topo-bench", 0));
+    group.throughput(Throughput::Elements(grid.materialize().m() as u64));
+    group.bench_with_input(BenchmarkId::new("grid", N), &grid, |b, g| {
+        b.iter(|| black_box(sweep(g)));
+    });
+
+    let gnp = ImplicitGnp::with_expected_degree(N, d, 7);
+    group.throughput(Throughput::Elements(gnp.materialize().m() as u64));
+    group.bench_with_input(BenchmarkId::new("gnp", N), &gnp, |b, g| {
+        b.iter(|| black_box(sweep(g)));
+    });
+
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine_csr,
@@ -291,6 +337,7 @@ criterion_group!(
     bench_engine_par,
     bench_decide_phase,
     bench_engine_fused,
-    bench_engine_energy
+    bench_engine_energy,
+    bench_topology_neighbors
 );
 criterion_main!(benches);

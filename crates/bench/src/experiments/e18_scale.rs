@@ -24,11 +24,22 @@
 //! receiver-range scatter). Note the v2 switch changed these bytes
 //! relative to the PR-4 file, which consumed the v1 shared stream.
 //!
+//! Past the CSR memory wall, the **implicit-backend section**
+//! ([`run_implicit_section`]) re-runs the comparison with no stored
+//! graph at all: [`ImplicitGnp`] re-samples rows per query,
+//! [`ImplicitGrid`] answers by torus cell scan, and the engine reaches
+//! both through the [`Topology`] trait — same trial code, O(n) instead
+//! of O(m) memory, valid to `n = 2²⁶`. Its JSON goes to
+//! `sweep_e18_implicit.json` (the CSR sweep's artifact is untouched).
+//!
 //! Env knobs (the examples' scale-shrinking idiom):
 //! `ADHOC_RADIO_E18_MIN_EXP` / `ADHOC_RADIO_E18_MAX_EXP` bound the
-//! `log₂ n` range (defaults 18 / 20; the smoke test runs 9 / 10), and
+//! `log₂ n` range (defaults 18 / 20; the smoke test runs 9 / 10),
 //! `ADHOC_RADIO_E18_THREADS` overrides the per-run worker count
-//! (default: machine parallelism, capped at 8).
+//! (default: machine parallelism, capped at 8), and
+//! `ADHOC_RADIO_E18_IMPLICIT` / `ADHOC_RADIO_E18_IMPLICIT_{MIN,MAX}_EXP`
+//! gate and bound the implicit section (defaults on, 20 / 21; raise to
+//! 24–26 for the past-the-wall columns).
 
 use crate::common::cell_extra;
 use crate::{Ctx, Report};
@@ -36,10 +47,10 @@ use radio_core::broadcast::decay::DecayConfig;
 use radio_core::broadcast::ee_random::{EeBroadcastConfig, EeRandomBroadcast};
 use radio_core::broadcast::flood::FloodConfig;
 use radio_core::broadcast::windowed::run_windowed_fused;
-use radio_graph::{DiGraph, GraphFamily};
+use radio_graph::{DiGraph, GraphFamily, ImplicitGnp, ImplicitGrid, Topology};
 use radio_sim::engine::run_protocol_fused;
 use radio_sim::{EngineConfig, Protocol, Sweep, SweepCell, TrialResult};
-use radio_util::TextTable;
+use radio_util::{derive_rng, split_seed, Json, TextTable};
 
 /// Degree factor: expected degree is `DEGREE_C · ln n` for both families
 /// — the workspace's standard `p = 8 ln n / n` regime, which satisfies
@@ -90,20 +101,21 @@ fn p_equiv(cell: &SweepCell, graph: &DiGraph) -> f64 {
     }
 }
 
-/// One trial: run `cell.algorithm` through the **fused v2 engine**
+/// One trial: run `alg` through the **fused v2 engine**
 /// ([`radio_sim::Engine::run_fused`]) with `threads` intra-run workers —
 /// under the v2 contract the decide phase fans out with the scatter, so
 /// run-level parallelism covers the whole round, not just the
-/// collision count. Pure in `(cell, graph, seed)` — the thread count
-/// cannot influence the result (property-tested in
+/// collision count. Pure in `(alg, graph, p_eq, seed)` — the thread
+/// count cannot influence the result (property-tested in
 /// `tests/determinism.rs`, asserted on the JSON bytes by the smoke
-/// test).
-fn scale_trial(cell: &SweepCell, graph: &DiGraph, seed: u64, threads: usize) -> TrialResult {
-    let n = cell.n;
+/// test). Generic over [`Topology`] so the implicit-backend section
+/// drives the exact same trial code as the CSR sweep.
+fn trial_body<T: Topology>(alg: &str, graph: &T, p_eq: f64, seed: u64, threads: usize) -> TrialResult {
+    let n = Topology::n(graph);
     let cfg = |max_rounds: u64| EngineConfig::with_max_rounds(max_rounds).with_threads(threads);
-    let trial = match cell.algorithm.as_str() {
+    let trial = match alg {
         "alg1" => {
-            let acfg = EeBroadcastConfig::for_gnp(n, p_equiv(cell, graph));
+            let acfg = EeBroadcastConfig::for_gnp(n, p_eq);
             let mut protocol = EeRandomBroadcast::new(n, 0, acfg);
             let run = run_protocol_fused(graph, &mut protocol, cfg(acfg.schedule_end() + 2), seed);
             let informed = protocol.informed_count();
@@ -121,6 +133,12 @@ fn scale_trial(cell: &SweepCell, graph: &DiGraph, seed: u64, threads: usize) -> 
     };
     let tx = trial.total_transmissions as f64;
     trial.extra("msgs_per_node", tx / n as f64)
+}
+
+/// The CSR-sweep adapter around [`trial_body`]: derives Algorithm 1's
+/// degree estimate from the materialized edge count.
+fn scale_trial(cell: &SweepCell, graph: &DiGraph, seed: u64, threads: usize) -> TrialResult {
+    trial_body(&cell.algorithm, graph, p_equiv(cell, graph), seed, threads)
 }
 
 /// The experiment body at an explicit `log₂ n` range — the smoke test
@@ -272,6 +290,215 @@ pub fn run_scaled(ctx: &Ctx, min_exp: u32, max_exp: u32, threads: usize) -> Repo
     report
 }
 
+/// The two implicit topology backends of the ≥ 2²⁴ rows. Deliberately
+/// *not* [`GraphFamily`]: that enum's contract is "materialize a
+/// `DiGraph`", which is exactly the O(m) step these backends exist to
+/// skip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ImplicitFamily {
+    /// [`ImplicitGnp`] — O(1) graph memory, rows re-sampled per query.
+    Gnp,
+    /// [`ImplicitGrid`] — O(n) positions + buckets, neighbors by cell scan.
+    Grid,
+}
+
+impl ImplicitFamily {
+    fn label(self) -> &'static str {
+        match self {
+            ImplicitFamily::Gnp => "implicit_gnp",
+            ImplicitFamily::Grid => "implicit_grid",
+        }
+    }
+
+    /// Build the backend for one `(n, d)` cell. The grid's position draws
+    /// come from a stream derived from `gseed`, so like the Gnp case the
+    /// whole topology is a pure function of the seed.
+    fn build(self, n: usize, d: f64, gseed: u64) -> ImplicitBackend {
+        match self {
+            ImplicitFamily::Gnp => {
+                ImplicitBackend::Gnp(ImplicitGnp::with_expected_degree(n, d, gseed))
+            }
+            ImplicitFamily::Grid => ImplicitBackend::Grid(ImplicitGrid::with_expected_degree(
+                n,
+                d,
+                &mut derive_rng(gseed, b"geo", 0),
+            )),
+        }
+    }
+}
+
+/// A built implicit topology — monomorphized dispatch into the generic
+/// [`trial_body`], one arm per backend.
+enum ImplicitBackend {
+    Gnp(ImplicitGnp),
+    Grid(ImplicitGrid),
+}
+
+impl ImplicitBackend {
+    fn trial(&self, alg: &str, p_eq: f64, seed: u64, threads: usize) -> TrialResult {
+        match self {
+            ImplicitBackend::Gnp(g) => trial_body(alg, g, p_eq, seed, threads),
+            ImplicitBackend::Grid(g) => trial_body(alg, g, p_eq, seed, threads),
+        }
+    }
+}
+
+/// The implicit-backend scaling section: the same three algorithms and
+/// the same [`trial_body`], but the graph is never materialized — the
+/// engine queries neighbors through the [`Topology`] trait, so the
+/// per-run footprint is O(n) state instead of O(m) CSR. This is what
+/// breaks the CSR memory wall: the materializing sweep is hard-capped at
+/// `n = 2²⁴` ([`MAX_EXP_BOUND`]); here `n = 2²⁶` at degree `8 ln n`
+/// (~10¹⁰ virtual edges) fits because those edges are re-derived on
+/// demand.
+///
+/// Hand-rolled rather than a [`Sweep`] because `SweepCell`'s
+/// [`GraphFamily`] is a materializing enum. Seeds are `split_seed`
+/// fan-outs of `ctx.seed ^ 0x18` (same root as the CSR sweep, disjoint
+/// labels), so the section is a pure function of `(ctx.seed, range)` —
+/// the JSON it writes (`sweep_e18_implicit.json`; the CSR sweep's
+/// `sweep_e18.json` is untouched) must be bit-identical across thread
+/// counts, and the smoke test asserts exactly that.
+///
+/// Algorithm 1's degree estimate uses the analytic `p = d/n` for both
+/// backends: an implicit topology never learns `m`, and by construction
+/// both families target expected degree `d` (the grid via the clamped
+/// `GeoParams` radius), so the analytic value is what the materialized
+/// `m/n²` estimates.
+pub fn run_implicit_section(
+    ctx: &Ctx,
+    report: &mut Report,
+    min_exp: u32,
+    max_exp: u32,
+    threads: usize,
+) {
+    assert!(min_exp <= max_exp);
+    assert!(
+        max_exp < usize::BITS,
+        "implicit max_exp {max_exp} would overflow the node-count shift"
+    );
+    let trials = ctx.trials(2, 1);
+    let root = ctx.seed ^ 0x18;
+
+    let mut t = TextTable::new(&[
+        "backend",
+        "algorithm",
+        "n",
+        "success",
+        "rounds (mean)",
+        "messages (mean)",
+        "msgs/node",
+        "max msgs/node",
+        "wall s/trial",
+    ]);
+    let mut cells_json: Vec<Json> = Vec::new();
+
+    let mut cell_idx: u64 = 0;
+    for exp in min_exp..=max_exp {
+        let n = 1usize << exp;
+        let d = degree(n);
+        for family in [ImplicitFamily::Gnp, ImplicitFamily::Grid] {
+            // One graph per (n, backend), shared by all three algorithms
+            // — mirrors `Sweep::run_cell`'s graph reuse. The seed depends
+            // only on (root, exp, backend), not on the algorithm order.
+            let gseed = split_seed(root, b"e18i-graph", (u64::from(exp) << 1) | family as u64);
+            let graph = family.build(n, d, gseed);
+            for alg in ["alg1", "flood", "decay"] {
+                let start = std::time::Instant::now();
+                let mut results = Vec::with_capacity(trials);
+                for trial in 0..trials as u64 {
+                    let seed = split_seed(root, b"e18i-trial", (cell_idx << 16) | trial);
+                    results.push(graph.trial(alg, d / n as f64, seed, threads));
+                }
+                let secs = start.elapsed().as_secs_f64();
+                let wall = secs / trials as f64;
+                eprintln!(
+                    "e18 implicit: {} {} n=2^{exp} done in {secs:.1}s ({trials} trials)",
+                    family.label(),
+                    alg
+                );
+
+                let successes = results.iter().filter(|r| r.success).count();
+                let mean = |f: &dyn Fn(&TrialResult) -> f64| {
+                    results.iter().map(|r| f(r)).sum::<f64>() / results.len() as f64
+                };
+                let rounds = mean(&|r| r.rounds as f64);
+                let msgs = mean(&|r| r.total_transmissions as f64);
+                let max_per_node = results
+                    .iter()
+                    .map(|r| r.max_transmissions_per_node)
+                    .max()
+                    .unwrap_or(0);
+                t.row(&[
+                    family.label().to_string(),
+                    alg.to_string(),
+                    format!("2^{exp}"),
+                    format!("{successes}/{trials}"),
+                    format!("{rounds:.1}"),
+                    format!("{msgs:.0}"),
+                    format!("{:.3}", msgs / n as f64),
+                    format!("{max_per_node}"),
+                    format!("{wall:.2}"),
+                ]);
+                // Wall-clock stays out of the JSON so the bytes remain a
+                // pure function of (seed, range) — thread-count
+                // independent, like the CSR sweep's artifact.
+                cells_json.push(Json::obj(vec![
+                    ("backend", Json::str(family.label())),
+                    ("algorithm", Json::str(alg)),
+                    ("n", Json::Num(n as f64)),
+                    ("expected_degree", Json::Num(d)),
+                    ("trials", Json::Num(trials as f64)),
+                    ("successes", Json::Num(successes as f64)),
+                    ("rounds_mean", Json::Num(rounds)),
+                    ("transmissions_mean", Json::Num(msgs)),
+                    ("msgs_per_node_mean", Json::Num(msgs / n as f64)),
+                    ("max_transmissions_per_node", Json::Num(f64::from(max_per_node))),
+                ]));
+                cell_idx += 1;
+            }
+        }
+    }
+
+    report.para(format!(
+        "**Implicit backends (no CSR):** the same three algorithms at \
+         `n = 2^{min_exp} … 2^{max_exp}` on `implicit_gnp` (O(1) graph \
+         memory, rows re-sampled per query from per-row seeded streams) \
+         and `implicit_grid` (O(n) positions, neighbors by torus cell \
+         scan), expected degree {DEGREE_C}·ln n, {trials} trial(s)/cell, \
+         {threads} fused worker(s) per run. The materializing sweep \
+         above is hard-capped at n = 2²⁴ by the CSR prealloc/offset \
+         budget; these rows have no stored edges at all, so the same \
+         engine and the same trial code keep scaling (at an \
+         O(degree)-per-query regeneration cost). Results remain \
+         bit-identical across thread counts: rows are pure functions of \
+         the backend value, so every worker sees the same neighbor sets."
+    ));
+    report.table(&t);
+
+    let json = Json::obj(vec![
+        ("name", Json::str("e18_implicit")),
+        ("seed", Json::Num(ctx.seed as f64)),
+        ("min_exp", Json::Num(f64::from(min_exp))),
+        ("max_exp", Json::Num(f64::from(max_exp))),
+        ("cells", Json::Arr(cells_json)),
+    ]);
+    let path = ctx.out_dir.join("sweep_e18_implicit.json");
+    match std::fs::create_dir_all(&ctx.out_dir)
+        .and_then(|()| std::fs::write(&path, json.to_string_pretty()))
+    {
+        Ok(()) => {
+            report.para(format!(
+                "Machine-readable implicit-backend report: `{}` — \
+                 bit-identical across engine thread counts; the CSR \
+                 sweep's `sweep_e18.json` is not touched by this section.",
+                path.display()
+            ));
+        }
+        Err(e) => eprintln!("warning: cannot write e18 implicit JSON: {e}"),
+    }
+}
+
 /// Largest accepted `log₂ n`: at the experiment's degree 8·ln n, a
 /// `n = 2²⁵` graph already has ~4.7·10⁹ expected edges — past the CSR
 /// `u32` offset budget (and tens of GB of edge list) — so runs beyond
@@ -279,6 +506,12 @@ pub fn run_scaled(ctx: &Ctx, min_exp: u32, max_exp: u32, threads: usize) -> Repo
 /// keeps an absurd value (say 64) from shift-overflowing into a silent
 /// 1-node "scaling" run.
 const MAX_EXP_BOUND: usize = 24;
+
+/// Largest accepted `log₂ n` for the **implicit** section: no CSR, so
+/// the binding constraints are the O(n) per-run state (bit sets,
+/// positions for the grid backend — ~1 GiB at 2²⁶) and wall-clock, not
+/// edge memory.
+const IMPLICIT_MAX_EXP_BOUND: usize = 26;
 
 pub fn run(ctx: &Ctx) -> Report {
     // Range-check in usize before narrowing, so an out-of-range value
@@ -299,5 +532,27 @@ pub fn run(ctx: &Ctx) -> Report {
         "ADHOC_RADIO_E18_THREADS",
         std::thread::available_parallelism().map_or(1, |p| p.get().min(8)),
     );
-    run_scaled(ctx, min_exp, max_exp, threads.max(1))
+    let mut report = run_scaled(ctx, min_exp, max_exp, threads.max(1));
+
+    // The implicit-backend rows. Defaults keep the whole experiment
+    // regenerable in reasonable wall-clock; raise
+    // ADHOC_RADIO_E18_IMPLICIT_MAX_EXP to 24–26 for the past-the-wall
+    // columns, or set ADHOC_RADIO_E18_IMPLICIT=0 to skip the section.
+    if env_usize("ADHOC_RADIO_E18_IMPLICIT", 1) != 0 {
+        let imin = env_usize("ADHOC_RADIO_E18_IMPLICIT_MIN_EXP", 20);
+        let imax = env_usize("ADHOC_RADIO_E18_IMPLICIT_MAX_EXP", 21);
+        assert!(
+            (4..=IMPLICIT_MAX_EXP_BOUND).contains(&imin)
+                && (4..=IMPLICIT_MAX_EXP_BOUND).contains(&imax),
+            "ADHOC_RADIO_E18_IMPLICIT_MIN_EXP/MAX_EXP must lie in \
+             4..={IMPLICIT_MAX_EXP_BOUND} (got {imin}/{imax})"
+        );
+        assert!(
+            imin <= imax,
+            "ADHOC_RADIO_E18_IMPLICIT_MIN_EXP ({imin}) must be ≤ \
+             ADHOC_RADIO_E18_IMPLICIT_MAX_EXP ({imax})"
+        );
+        run_implicit_section(ctx, &mut report, imin as u32, imax as u32, threads.max(1));
+    }
+    report
 }

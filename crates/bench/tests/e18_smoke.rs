@@ -143,3 +143,55 @@ fn e18_runs_at_smoke_scale_and_emits_deterministic_json() {
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&dir2);
 }
+
+/// The implicit-backend section at toy scale: runs end to end on both
+/// backends, emits its own JSON artifact (`sweep_e18_implicit.json`,
+/// leaving the CSR sweep's file alone), and — the tentpole contract —
+/// those bytes are identical for any intra-run thread count, because
+/// implicit rows are pure functions of the backend value.
+#[test]
+fn e18_implicit_section_runs_and_is_thread_count_independent() {
+    use radio_bench::Report;
+
+    let run_at = |tag: &str, threads: usize| {
+        let dir = std::env::temp_dir().join(format!("e18i-{tag}-{}", std::process::id()));
+        let ctx = Ctx {
+            seed: 0xE18,
+            scale: 0.5,
+            out_dir: dir.clone(),
+        };
+        let mut report = Report::new("e18", "implicit smoke");
+        e18_scale::run_implicit_section(&ctx, &mut report, 9, 10, threads);
+        assert!(report.body.contains("implicit_gnp"));
+        assert!(report.body.contains("implicit_grid"));
+        let text = std::fs::read_to_string(dir.join("sweep_e18_implicit.json"))
+            .expect("implicit JSON written");
+        assert!(
+            !dir.join("sweep_e18.json").exists(),
+            "the implicit section must not touch the CSR sweep artifact"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        text
+    };
+
+    let text = run_at("a", 2);
+    let parsed = Json::parse(&text).expect("valid JSON");
+    let cells = parsed.get("cells").and_then(Json::as_arr).expect("cells");
+    // 2 sizes × 2 backends × 3 algorithms.
+    assert_eq!(cells.len(), 12);
+    for cell in cells {
+        let backend = cell.get("backend").and_then(Json::as_str).expect("backend");
+        assert!(backend == "implicit_gnp" || backend == "implicit_grid");
+        let trials = cell.get("trials").and_then(Json::as_f64).expect("trials");
+        assert!(trials >= 1.0);
+    }
+    // At n = 2⁹/2¹⁰ with degree 8·ln n every flood/decay trial should
+    // finish; don't let the section pass vacuously on all-zero rows.
+    let any_success = cells
+        .iter()
+        .any(|c| c.get("successes").and_then(Json::as_f64) > Some(0.0));
+    assert!(any_success, "no implicit cell succeeded at smoke scale");
+
+    let text2 = run_at("b", 4);
+    assert_eq!(text, text2, "implicit JSON must not depend on thread count");
+}

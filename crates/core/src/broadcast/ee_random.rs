@@ -33,7 +33,7 @@
 
 use super::{BroadcastOutcome, InformedSet};
 use crate::params::GnpParams;
-use radio_graph::{DiGraph, NodeId};
+use radio_graph::{NodeId, Topology};
 use radio_sim::{Action, EngineConfig, Protocol};
 use rand::RngExt;
 use rand_chacha::ChaCha8Rng;
@@ -272,8 +272,8 @@ impl radio_sim::FusedDecide for EeRandomBroadcast {
 }
 
 /// Run Algorithm 1 on `graph` from `source`.
-pub fn run_ee_broadcast(
-    graph: &DiGraph,
+pub fn run_ee_broadcast<T: Topology>(
+    graph: &T,
     source: NodeId,
     cfg: &EeBroadcastConfig,
     seed: u64,
@@ -283,8 +283,8 @@ pub fn run_ee_broadcast(
 
 /// As [`run_ee_broadcast`], with a per-round trace (for the Lemma 2.3/2.4
 /// growth experiments).
-pub fn run_ee_broadcast_traced(
-    graph: &DiGraph,
+pub fn run_ee_broadcast_traced<T: Topology>(
+    graph: &T,
     source: NodeId,
     cfg: &EeBroadcastConfig,
     seed: u64,
@@ -299,8 +299,8 @@ pub fn run_ee_broadcast_traced(
 /// config; use [`radio_sim::engine::run_protocol_fused`] directly for
 /// explicit thread counts). Statistically equivalent to, but not
 /// bit-compatible with, the v1 [`run_ee_broadcast`] on the same seed.
-pub fn run_ee_broadcast_fused(
-    graph: &DiGraph,
+pub fn run_ee_broadcast_fused<T: Topology>(
+    graph: &T,
     source: NodeId,
     cfg: &EeBroadcastConfig,
     seed: u64,
@@ -316,8 +316,8 @@ pub fn run_ee_broadcast_fused(
     )
 }
 
-fn run_ee_broadcast_with(
-    graph: &DiGraph,
+fn run_ee_broadcast_with<T: Topology>(
+    graph: &T,
     source: NodeId,
     cfg: &EeBroadcastConfig,
     seed: u64,
@@ -340,6 +340,7 @@ fn run_ee_broadcast_with(
 mod tests {
     use super::*;
     use radio_graph::generate::gnp_directed;
+    use radio_graph::DiGraph;
     use radio_util::derive_rng;
 
     fn sparse_instance(n: usize, delta: f64, seed: u64) -> (DiGraph, EeBroadcastConfig) {

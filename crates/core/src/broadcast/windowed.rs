@@ -16,7 +16,7 @@
 
 use super::{BroadcastOutcome, InformedSet};
 use crate::seq::{KDistribution, SharedSequence};
-use radio_graph::{DiGraph, NodeId};
+use radio_graph::{NodeId, Topology};
 use radio_sim::{Action, EngineConfig, Protocol};
 use rand::RngExt;
 use rand_chacha::ChaCha8Rng;
@@ -220,8 +220,8 @@ impl radio_sim::FusedDecide for WindowedBroadcast {
 }
 
 /// Run a windowed broadcast and package the outcome.
-pub fn run_windowed(
-    graph: &DiGraph,
+pub fn run_windowed<T: Topology>(
+    graph: &T,
     source: NodeId,
     spec: WindowedSpec,
     engine_cfg: EngineConfig,
@@ -243,8 +243,8 @@ pub fn run_windowed(
 /// the [`EnergyMetrics`](radio_sim::EnergyMetrics) report. With no
 /// battery attached the run itself is bit-identical to [`run_windowed`]
 /// on the same seed — the overlay never touches protocol randomness.
-pub fn run_windowed_energy(
-    graph: &DiGraph,
+pub fn run_windowed_energy<T: Topology>(
+    graph: &T,
     source: NodeId,
     spec: WindowedSpec,
     engine_cfg: EngineConfig,
@@ -271,8 +271,8 @@ pub fn run_windowed_energy(
 /// Statistically equivalent to (but not bit-compatible with) the v1
 /// [`run_windowed`] on the same seed; `tests/v2_equivalence.rs`
 /// cross-validates the two.
-pub fn run_windowed_fused(
-    graph: &DiGraph,
+pub fn run_windowed_fused<T: Topology>(
+    graph: &T,
     source: NodeId,
     spec: WindowedSpec,
     engine_cfg: EngineConfig,

@@ -18,6 +18,7 @@
 //! generation is `O(n · E[deg])`.
 
 use crate::generate::edge_capacity;
+use crate::topology::GridIndex;
 use crate::{DiGraph, GraphBuilder, NodeId};
 use rand::{Rng, RngExt};
 
@@ -43,15 +44,34 @@ impl GeoParams {
     }
 
     /// Radius giving expected degree `d` on the unit torus: `π r² n = d`.
+    ///
+    /// The solution exceeds the torus metric bound `r = 0.5` once
+    /// `d > π n / 4` (small `n`, large `d`) — a radius the generators
+    /// reject with an assert deep inside `generate`, far from the call
+    /// site that picked `d`. Instead of handing that footgun on, the
+    /// radius **saturates at 0.5** (the densest geometry the torus
+    /// supports, expected degree ≈ π(n−1)/4) with a stderr warning, so
+    /// sweeps that scale `d` past what a small `n` can realise degrade
+    /// gracefully rather than panic.
     pub fn with_expected_degree(n: usize, d: f64) -> Self {
         let r = (d / (std::f64::consts::PI * n as f64)).sqrt();
+        if r > 0.5 {
+            eprintln!(
+                "warning: GeoParams::with_expected_degree(n = {n}, d = {d}) wants \
+                 radius {r:.4} > 0.5 (torus bound); saturating at r = 0.5, actual \
+                 expected degree ≈ {:.1}",
+                std::f64::consts::PI * 0.25 * (n.saturating_sub(1)) as f64
+            );
+            return Self::uniform(n, 0.5);
+        }
         Self::uniform(n, r)
     }
 }
 
 /// Squared torus distance between two points of the unit square.
+/// Shared with the implicit grid backend (`topology::grid`).
 #[inline]
-fn torus_dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
+pub(crate) fn torus_dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
     let mut dx = (a.0 - b.0).abs();
     let mut dy = (a.1 - b.1).abs();
     if dx > 0.5 {
@@ -81,18 +101,11 @@ fn generate<R: Rng + ?Sized>(params: GeoParams, rng: &mut R) -> (DiGraph, Vec<(f
     };
 
     // Grid with cell width ≥ r_max so all candidates live in the 3×3
-    // neighbourhood of a node's cell.
-    let cells = ((1.0 / r_max).floor() as usize).max(1);
-    let cell_of = |p: (f64, f64)| -> (usize, usize) {
-        let cx = ((p.0 * cells as f64) as usize).min(cells - 1);
-        let cy = ((p.1 * cells as f64) as usize).min(cells - 1);
-        (cx, cy)
-    };
-    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); cells * cells];
-    for (i, &p) in pos.iter().enumerate() {
-        let (cx, cy) = cell_of(p);
-        buckets[cy * cells + cx].push(i as NodeId);
-    }
+    // neighbourhood of a node's cell. GridIndex's scan visits each
+    // bucket exactly once even when the grid wraps at cells < 3 (any
+    // r_max > 1/3) — the old open-coded scan double-visited there and
+    // leaned on the builder's dedup to hide it.
+    let grid = GridIndex::new(&pos, r_max);
 
     // Expected out-degree of node u is π·r_u²·n on the torus, so the
     // expected edge total is n·π·E[r²]·n with E[r²] the mean square of a
@@ -105,18 +118,13 @@ fn generate<R: Rng + ?Sized>(params: GeoParams, rng: &mut R) -> (DiGraph, Vec<(f
     for u in 0..n {
         let pu = pos[u];
         let ru2 = radius[u] * radius[u];
-        let (cx, cy) = cell_of(pu);
-        for dy in -1i64..=1 {
-            for dx in -1i64..=1 {
-                let bx = (cx as i64 + dx).rem_euclid(cells as i64) as usize;
-                let by = (cy as i64 + dy).rem_euclid(cells as i64) as usize;
-                for &v in &buckets[by * cells + bx] {
-                    if v as usize != u && torus_dist2(pu, pos[v as usize]) <= ru2 {
-                        b.add_edge(u as NodeId, v);
-                    }
+        grid.for_each_candidate_bucket(pu, |bucket| {
+            for &v in bucket {
+                if v as usize != u && torus_dist2(pu, pos[v as usize]) <= ru2 {
+                    b.add_edge(u as NodeId, v);
                 }
             }
-        }
+        });
     }
     (b.build(), pos)
 }
@@ -144,34 +152,19 @@ pub fn random_geometric_directed<R: Rng + ?Sized>(
 /// Core generator for fixed positions (mobility snapshots).
 fn graph_for_positions(pos: &[(f64, f64)], r: f64) -> DiGraph {
     let n = pos.len();
-    let cells = ((1.0 / r).floor() as usize).max(1);
-    let cell_of = |p: (f64, f64)| -> (usize, usize) {
-        let cx = ((p.0 * cells as f64) as usize).min(cells - 1);
-        let cy = ((p.1 * cells as f64) as usize).min(cells - 1);
-        (cx, cy)
-    };
-    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); cells * cells];
-    for (i, &p) in pos.iter().enumerate() {
-        let (cx, cy) = cell_of(p);
-        buckets[cy * cells + cx].push(i as NodeId);
-    }
+    let grid = GridIndex::new(pos, r);
     let expected = n as f64 * std::f64::consts::PI * r * r * n as f64;
     let mut b = GraphBuilder::with_capacity(n, edge_capacity(n, expected));
     let r2 = r * r;
     for u in 0..n {
         let pu = pos[u];
-        let (cx, cy) = cell_of(pu);
-        for dy in -1i64..=1 {
-            for dx in -1i64..=1 {
-                let bx = (cx as i64 + dx).rem_euclid(cells as i64) as usize;
-                let by = (cy as i64 + dy).rem_euclid(cells as i64) as usize;
-                for &v in &buckets[by * cells + bx] {
-                    if v as usize != u && torus_dist2(pu, pos[v as usize]) <= r2 {
-                        b.add_edge(u as NodeId, v);
-                    }
+        grid.for_each_candidate_bucket(pu, |bucket| {
+            for &v in bucket {
+                if v as usize != u && torus_dist2(pu, pos[v as usize]) <= r2 {
+                    b.add_edge(u as NodeId, v);
                 }
             }
-        }
+        });
     }
     b.build()
 }
@@ -332,6 +325,92 @@ mod tests {
         // million-node case stays within the budget instead of ~6.9 TB.
         let est = (1u64 << 20) as f64 * std::f64::consts::PI * 0.25 * (1u64 << 20) as f64;
         assert!(crate::generate::edge_capacity(1 << 20, est) <= 1 << 26);
+    }
+
+    #[test]
+    fn wrapped_scan_emits_no_duplicate_edges() {
+        // Regression for the double-visit bug: with cells = ⌊1/r⌋ < 3
+        // (any r > 1/3) the old 3×3 scan aliased wrapped offsets and
+        // visited buckets up to 9×, emitting duplicate edges that only
+        // the builder's sort+dedup hid. The scan must now emit each
+        // edge exactly once: the pre-dedup builder count equals the
+        // final m(). Replays the generator's own emission loop so the
+        // assertion covers exactly the shared GridIndex scan.
+        for r in [0.4, 0.5] {
+            let mut rng = derive_rng(20, b"geo", 0);
+            let pos: Vec<(f64, f64)> = (0..300)
+                .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+                .collect();
+            let grid = GridIndex::new(&pos, r);
+            let r2 = r * r;
+            let mut b = GraphBuilder::new(300);
+            for u in 0..300usize {
+                let pu = pos[u];
+                grid.for_each_candidate_bucket(pu, |bucket| {
+                    for &v in bucket {
+                        if v as usize != u && torus_dist2(pu, pos[v as usize]) <= r2 {
+                            b.add_edge(u as NodeId, v);
+                        }
+                    }
+                });
+            }
+            let pending = b.pending_edges();
+            let g = b.build();
+            assert_eq!(
+                pending,
+                g.m(),
+                "r = {r}: scan emitted duplicates (pre-dedup {pending} vs m {})",
+                g.m()
+            );
+            // And the fixed scan still finds every edge: cross-check
+            // against the O(n²) predicate.
+            let brute = (0..300usize)
+                .flat_map(|u| (0..300usize).map(move |v| (u, v)))
+                .filter(|&(u, v)| u != v && torus_dist2(pos[u], pos[v]) <= r2)
+                .count();
+            assert_eq!(g.m(), brute, "r = {r}: edge set wrong");
+        }
+    }
+
+    #[test]
+    fn generators_accept_the_full_wrapping_radius_range() {
+        // End-to-end over the public API: radii straddling the
+        // cells ∈ {1, 2, 3} boundaries all generate and agree with the
+        // distance predicate (edges_respect_radius_exactly covers the
+        // fine-grid regime; this pins the coarse grids the bug lived in).
+        for r in [0.26, 0.4, 0.5] {
+            let mut rng = derive_rng(21, b"geo", 0);
+            let (g, pos) = random_geometric(150, r, &mut rng);
+            for u in 0..150usize {
+                for v in 0..150usize {
+                    if u == v {
+                        continue;
+                    }
+                    assert_eq!(
+                        g.has_edge(u as NodeId, v as NodeId),
+                        torus_dist2(pos[u], pos[v]) <= r * r,
+                        "r = {r}: edge ({u},{v}) mismatch"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_expected_degree_saturates_at_torus_bound() {
+        // d > πn/4 has no realisable radius on the torus; the
+        // constructor must clamp to 0.5 instead of handing the caller
+        // parameters that trip the assert inside generate().
+        let p = GeoParams::with_expected_degree(10, 100.0);
+        assert_eq!(p.r_min, 0.5);
+        assert_eq!(p.r_max, 0.5);
+        let (g, _) = random_geometric(10, p.r_min, &mut derive_rng(22, b"geo", 0));
+        assert_eq!(g.n(), 10);
+        // Sane parameters stay exact.
+        let q = GeoParams::with_expected_degree(10_000, 20.0);
+        assert!(q.r_min < 0.5);
+        let d_back = std::f64::consts::PI * q.r_min * q.r_min * 10_000.0;
+        assert!((d_back - 20.0).abs() < 1e-9);
     }
 
     #[test]

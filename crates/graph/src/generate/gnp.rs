@@ -15,9 +15,11 @@ use crate::{DiGraph, NodeId};
 use rand::{Rng, RngExt};
 
 /// Sample the gap to the next success of a Bernoulli(`p`) sequence:
-/// `⌊ln(U) / ln(1−p)⌋` for `U ~ Uniform(0,1]`.
+/// `⌊ln(U) / ln(1−p)⌋` for `U ~ Uniform(0,1]`. Shared with the implicit
+/// `G(n,p)` topology backend (`topology::gnp`), which replays the same
+/// skip walk per row from a per-row seeded stream.
 #[inline]
-fn geometric_skip<R: Rng + ?Sized>(rng: &mut R, log1mp: f64) -> u64 {
+pub(crate) fn geometric_skip<R: Rng + ?Sized>(rng: &mut R, log1mp: f64) -> u64 {
     // `1.0 - random::<f64>()` lies in (0, 1], so `ln` is finite & ≤ 0.
     let u: f64 = 1.0 - rng.random::<f64>();
     let skip = (u.ln() / log1mp).floor();

@@ -17,17 +17,23 @@
 //!   random geometric graphs (§5 future work).
 //! * [`analysis`] — BFS layers, eccentricity/diameter, strong
 //!   connectivity, degree statistics.
+//! * [`topology`] — the graph as a neighbor *query* instead of a data
+//!   structure: the [`Topology`] trait over the CSR oracle and the
+//!   O(n)/O(1)-memory implicit backends ([`ImplicitGrid`],
+//!   [`ImplicitGnp`]) that lift the O(m) materialisation ceiling.
 
 pub mod analysis;
 pub mod builder;
 pub mod components;
 pub mod csr;
 pub mod generate;
+pub mod topology;
 
 pub use builder::GraphBuilder;
 pub use components::{induced_subgraph, largest_scc, strongly_connected_components, Subgraph};
 pub use csr::Csr;
 pub use generate::GraphFamily;
+pub use topology::{GridIndex, ImplicitGnp, ImplicitGrid, Topology};
 
 /// Node identifier. `u32` keeps adjacency arrays compact (the perf guides'
 /// "smaller integers" advice); 4 × 10⁹ nodes is far beyond any simulation

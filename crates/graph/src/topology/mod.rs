@@ -1,0 +1,154 @@
+//! Topology backends: the graph as a *neighbor query*, not a data
+//! structure.
+//!
+//! Every run so far materialized a full CSR ([`DiGraph`]) before the
+//! first round — an O(m) memory term that caps experiments near
+//! n ≈ 2²⁰ under the generator prealloc budget. But the engine never
+//! needs the graph as data: its scatter phase only ever asks *"who
+//! hears `u`?"*. [`Topology`] captures exactly that question, so the
+//! engine can run over three interchangeable backends:
+//!
+//! * [`DiGraph`] — the existing CSR oracle. `for_each_out` walks the
+//!   stored row; monomorphization compiles the generic engine down to
+//!   the same code as before.
+//! * [`ImplicitGrid`] — torus points + grid buckets. Neighbors of `u`
+//!   are recomputed on the fly from positions in O(expected degree)
+//!   using the dedup-correct wrapped cell scan shared with the
+//!   materializing geometric generators. O(n) memory.
+//! * [`ImplicitGnp`] — `G(n,p)` whose row `u` is re-sampled lazily as a
+//!   pure function of `(graph_seed, u)` via a per-row counter-based
+//!   ChaCha8 stream (the same trick as `radio_sim`'s `DecideStreams`).
+//!   O(1) memory.
+//!
+//! # Contract
+//!
+//! For a fixed backend value, `for_each_out(u, …)` must visit a fixed
+//! duplicate-free set of neighbors (no self-loops) in a deterministic
+//! order, and `for_each_out_range(u, lo, hi, …)` must visit exactly the
+//! members of that set with `lo ≤ v < hi`, in the same relative order.
+//! Duplicate-freedom is load-bearing for collision semantics: the
+//! engine counts *distinct transmitters* heard by a receiver, so a
+//! backend that reported the same neighbor twice would turn a single
+//! clean delivery into a phantom collision. (This is why the wrapped
+//! grid scan had to be dedup-fixed before `ImplicitGrid` could reuse
+//! it — see [`grid`].)
+//!
+//! Implicit backends answer range queries by regenerating the full row
+//! and filtering, so a `t`-way partitioned scatter costs O(t·deg)
+//! regeneration work instead of CSR's O(deg + t·log deg) — the price of
+//! not storing the row. Rows are pure functions of the backend value,
+//! so partitioned scatter stays bit-identical for every thread count.
+
+pub mod gnp;
+pub mod grid;
+
+pub use gnp::ImplicitGnp;
+pub use grid::{GridIndex, ImplicitGrid};
+
+use crate::{DiGraph, NodeId};
+
+/// A directed radio topology, addressed purely through out-neighbor
+/// queries (`u → v` means "`v` hears `u`").
+///
+/// `Sync` is required because the engine's partitioned scatter phase
+/// issues queries from worker threads against `&self`.
+pub trait Topology: Sync {
+    /// Number of nodes.
+    fn n(&self) -> usize;
+
+    /// Cheap upper-bound estimate of `u`'s out-degree, used only for
+    /// work-size heuristics (e.g. "is this round worth parallelising?").
+    /// Must never affect results; exactness is not required.
+    fn degree_hint(&self, u: NodeId) -> u64;
+
+    /// Visit every out-neighbor of `u` exactly once, in a deterministic
+    /// order (see the module docs for the full contract).
+    fn for_each_out<F: FnMut(NodeId)>(&self, u: NodeId, f: F);
+
+    /// Visit exactly the out-neighbors `v` of `u` with `lo ≤ v < hi`,
+    /// in the same relative order as [`for_each_out`](Self::for_each_out).
+    fn for_each_out_range<F: FnMut(NodeId)>(&self, u: NodeId, lo: NodeId, hi: NodeId, f: F);
+}
+
+impl Topology for DiGraph {
+    #[inline]
+    fn n(&self) -> usize {
+        DiGraph::n(self)
+    }
+
+    #[inline]
+    fn degree_hint(&self, u: NodeId) -> u64 {
+        self.out_degree(u) as u64
+    }
+
+    #[inline]
+    fn for_each_out<F: FnMut(NodeId)>(&self, u: NodeId, mut f: F) {
+        for &v in self.out_neighbors(u) {
+            f(v);
+        }
+    }
+
+    /// CSR rows are sorted, so the range is narrowed with two binary
+    /// searches — exactly the partitioned-scatter fast path the engine
+    /// used before it went generic.
+    #[inline]
+    fn for_each_out_range<F: FnMut(NodeId)>(&self, u: NodeId, lo: NodeId, hi: NodeId, mut f: F) {
+        let row = self.out_neighbors(u);
+        let s = row.partition_point(|&v| v < lo);
+        let e = s + row[s..].partition_point(|&v| v < hi);
+        for &v in &row[s..e] {
+            f(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::gnp_directed;
+    use radio_util::derive_rng;
+
+    /// Collect a backend's row through the trait.
+    fn row<T: Topology>(t: &T, u: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        t.for_each_out(u, |v| out.push(v));
+        out
+    }
+
+    #[test]
+    fn digraph_backend_matches_csr_rows() {
+        let g = gnp_directed(200, 0.05, &mut derive_rng(31, b"topo", 0));
+        assert_eq!(Topology::n(&g), 200);
+        for u in 0..200 as NodeId {
+            assert_eq!(row(&g, u), g.out_neighbors(u));
+            assert_eq!(g.degree_hint(u), g.out_degree(u) as u64);
+        }
+    }
+
+    #[test]
+    fn digraph_range_query_partitions_the_row() {
+        let g = gnp_directed(300, 0.04, &mut derive_rng(32, b"topo", 0));
+        for u in (0..300).step_by(17) {
+            let full = row(&g, u as NodeId);
+            // Any 3-way split reassembles the full row in order.
+            for (lo, hi) in [(0, 100), (100, 200), (200, 300)]
+                .iter()
+                .map(|&(a, b)| (a as NodeId, b as NodeId))
+            {
+                let mut part = Vec::new();
+                g.for_each_out_range(u as NodeId, lo, hi, |v| part.push(v));
+                let want: Vec<NodeId> =
+                    full.iter().copied().filter(|&v| v >= lo && v < hi).collect();
+                assert_eq!(part, want);
+            }
+        }
+    }
+
+    #[test]
+    fn digraph_empty_and_degenerate_ranges() {
+        let g = gnp_directed(50, 0.2, &mut derive_rng(33, b"topo", 0));
+        let mut seen = false;
+        g.for_each_out_range(0, 10, 10, |_| seen = true);
+        assert!(!seen, "empty range [10, 10) must visit nothing");
+    }
+}

@@ -4,7 +4,7 @@ use crate::metrics::{EnergyMetrics, Metrics, RoundRecord, Trace};
 use crate::streams::DecideStreams;
 use crate::{Action, FusedDecide, Protocol};
 use radio_energy::{Duty, EnergySession};
-use radio_graph::{DiGraph, NodeId};
+use radio_graph::{DiGraph, NodeId, Topology};
 use rand_chacha::ChaCha8Rng;
 
 /// Engine knobs.
@@ -102,7 +102,11 @@ impl EngineConfig {
 }
 
 /// Result of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field (rounds, completion flags, full
+/// per-node metrics, trace) — the equality the CSR-vs-implicit topology
+/// equivalence tests assert bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Rounds executed (equals the completion round, or `max_rounds`).
     pub rounds: u64,
@@ -246,6 +250,15 @@ enum DecideEvent {
 
 /// Reusable simulation engine for one graph.
 ///
+/// Generic over the [`Topology`] backend, with the CSR [`DiGraph`] as
+/// the default type parameter so existing `Engine` mentions and
+/// `Engine::new(&graph, …)` call sites compile unchanged. The engine
+/// only ever asks the topology "who hears `u`?" ([`Topology::for_each_out`]
+/// and its receiver-range variant), so monomorphization over `DiGraph`
+/// produces exactly the pre-generic flat-CSR scatter, while the
+/// implicit backends (`ImplicitGrid`, `ImplicitGnp`) answer the same
+/// queries without ever materialising O(m) edge storage.
+///
 /// **Allocation-free steady state:** every piece of per-run scratch —
 /// the stamped `hits` records, the awake bookkeeping (`is_awake`,
 /// `in_list`, `awake_list`), the per-round `transmitters`/`touched`/
@@ -258,8 +271,8 @@ enum DecideEvent {
 /// the OS-level scoped-thread spawns, which is why that test runs the
 /// serial path). At `n = 2²⁰` this saves a multi-MB alloc + zero per
 /// trial that the pre-pool engine paid on every run.
-pub struct Engine<'g> {
-    graph: &'g DiGraph,
+pub struct Engine<'g, T: Topology = DiGraph> {
+    graph: &'g T,
     cfg: EngineConfig,
     /// Per-node scratch, stamped by round number to avoid clearing.
     hits: Vec<HitRecord>,
@@ -290,9 +303,9 @@ pub struct Engine<'g> {
     par_events: Vec<Vec<(NodeId, DecideEvent)>>,
 }
 
-impl<'g> Engine<'g> {
-    /// Create an engine for `graph`.
-    pub fn new(graph: &'g DiGraph, cfg: EngineConfig) -> Self {
+impl<'g, T: Topology> Engine<'g, T> {
+    /// Create an engine for `graph` (any [`Topology`] backend).
+    pub fn new(graph: &'g T, cfg: EngineConfig) -> Self {
         let n = graph.n();
         Engine {
             graph,
@@ -388,7 +401,7 @@ impl<'g> Engine<'g> {
     /// entry point — see [`run_dynamic`].
     pub fn run_with<F, P>(&mut self, pick: F, protocol: &mut P, rng: &mut ChaCha8Rng) -> RunResult
     where
-        F: Fn(u64) -> &'g DiGraph,
+        F: Fn(u64) -> &'g T,
         P: Protocol,
     {
         let threads = self.cfg.threads.max(1);
@@ -405,7 +418,7 @@ impl<'g> Engine<'g> {
         session: &mut EnergySession,
     ) -> EnergyRunResult
     where
-        F: Fn(u64) -> &'g DiGraph,
+        F: Fn(u64) -> &'g T,
         P: Protocol,
     {
         let threads = self.cfg.threads.max(1);
@@ -423,7 +436,7 @@ impl<'g> Engine<'g> {
         threads: usize,
     ) -> EnergyRunResult
     where
-        F: Fn(u64) -> &'g DiGraph,
+        F: Fn(u64) -> &'g T,
         P: Protocol,
     {
         assert_eq!(
@@ -454,7 +467,7 @@ impl<'g> Engine<'g> {
         threads: usize,
     ) -> (RunResult, bool)
     where
-        F: Fn(u64) -> &'g DiGraph,
+        F: Fn(u64) -> &'g T,
         P: Protocol,
         E: EnergyHook,
     {
@@ -521,10 +534,6 @@ impl<'g> Engine<'g> {
             let hit_many = hit_once | 1;
             let graph = pick(round);
             debug_assert_eq!(graph.n(), n, "topology changed node count mid-run");
-            // Borrow the raw CSR arrays once per round: the scatter loop
-            // below indexes them directly instead of re-slicing through
-            // accessor calls per transmitter.
-            let (out_offsets, out_neighbors) = graph.out_csr().raw();
 
             // --- poll phase -------------------------------------------------
             transmitters.clear();
@@ -570,14 +579,8 @@ impl<'g> Engine<'g> {
                     hook.charge(u, Duty::Transmit, round);
                 }
             }
-            let touched_sorted = self.scatter_round(
-                &transmitters,
-                out_offsets,
-                out_neighbors,
-                hit_once,
-                hit_many,
-                threads,
-            );
+            let touched_sorted =
+                self.scatter_round(graph, &transmitters, hit_once, hit_many, threads);
 
             // --- delivery phase ----------------------------------------------
             // Payloads are materialised once per transmitter, not per
@@ -695,18 +698,19 @@ impl<'g> Engine<'g> {
     /// order (the parallel merge produces that for free; the serial path
     /// leaves transmitter-scan order).
     ///
-    /// Scatter over flat CSR slices: `out_neighbors` is one contiguous
-    /// array, so consecutive transmitters stream it forward instead of
-    /// chasing per-node heap allocations, and each target update touches
-    /// exactly one `HitRecord` line. The serial and parallel paths
-    /// compute the same `hits`/`touched` state, so the fan-out heuristic
-    /// cannot influence results (and therefore neither can the thread
-    /// count).
+    /// Scatter through [`Topology`] queries: for the CSR backend
+    /// `for_each_out` monomorphizes to streaming one contiguous
+    /// neighbors array (the pre-generic code), and each target update
+    /// touches exactly one `HitRecord` line. Duplicate-freedom of the
+    /// backend's rows is load-bearing here: a neighbor reported twice
+    /// would flip a clean first hit into a phantom collision. The serial
+    /// and parallel paths compute the same `hits`/`touched` state, so
+    /// the fan-out heuristic cannot influence results (and therefore
+    /// neither can the thread count).
     fn scatter_round(
         &mut self,
+        graph: &T,
         transmitters: &[NodeId],
-        out_offsets: &[u32],
-        out_neighbors: &[NodeId],
         hit_once: u32,
         hit_many: u32,
         threads: usize,
@@ -714,10 +718,11 @@ impl<'g> Engine<'g> {
         let n = self.hits.len();
         self.touched.clear();
         let threads_now = if threads > 1 && transmitters.len() > 1 {
-            let edges: u64 = transmitters
-                .iter()
-                .map(|&u| u64::from(out_offsets[u as usize + 1] - out_offsets[u as usize]))
-                .sum();
+            // Edge-volume heuristic on `degree_hint` — exact for CSR,
+            // an upper-bound estimate for implicit backends. Purely a
+            // perf threshold: it picks a path, never changes what the
+            // path computes.
+            let edges: u64 = transmitters.iter().map(|&u| graph.degree_hint(u)).sum();
             if edges >= self.cfg.par_min_edges {
                 threads.min(n)
             } else {
@@ -727,32 +732,37 @@ impl<'g> Engine<'g> {
             1
         };
         if threads_now <= 1 {
+            let hits = &mut self.hits;
+            let touched = &mut self.touched;
             for &u in transmitters {
-                let ui = u as usize;
-                let row = out_offsets[ui] as usize..out_offsets[ui + 1] as usize;
-                for &v in &out_neighbors[row] {
-                    let h = &mut self.hits[v as usize];
+                graph.for_each_out(u, |v| {
+                    let h = &mut hits[v as usize];
                     if h.stamp | 1 != hit_many {
                         // First hit this round: remember the transmitter.
                         *h = HitRecord {
                             stamp: hit_once,
                             source: u,
                         };
-                        self.touched.push(v);
+                        touched.push(v);
                     } else {
                         // Second or later hit: mark collided.
                         h.stamp = hit_many;
                     }
-                }
+                });
             }
             return false;
         }
-        // Receiver-range partition: worker `w` owns node ids
-        // `[w·n/t, (w+1)·n/t)` and is the only writer of that `hits`
-        // range. Every worker walks the full transmitter list in the
-        // same (serial) order, narrowing each sorted CSR row to its
-        // range by binary search, so for any fixed receiver the sequence
-        // of first-hit/collision updates is exactly the serial one.
+        // Receiver-range partition reformulated as a neighbor-*query*
+        // partition: worker `w` owns node ids `[w·n/t, (w+1)·n/t)` and
+        // is the only writer of that `hits` range. Every worker walks
+        // the full transmitter list in the same (serial) order, asking
+        // the topology only for neighbors inside its range — CSR
+        // narrows the sorted row with two binary searches; implicit
+        // backends regenerate the row and filter (O(t·deg) total, the
+        // price of not storing rows). For any fixed receiver the
+        // sequence of first-hit/collision updates is exactly the serial
+        // one, because rows are duplicate-free and per-row order is
+        // fixed per backend.
         let t = threads_now;
         if self.par_touched.len() < t {
             self.par_touched.resize_with(t, Vec::new);
@@ -767,12 +777,7 @@ impl<'g> Engine<'g> {
         let scatter_range =
             |lo: usize, hi: usize, chunk: &mut [HitRecord], touched_w: &mut Vec<NodeId>| {
                 for &u in tx {
-                    let ui = u as usize;
-                    let row =
-                        &out_neighbors[out_offsets[ui] as usize..out_offsets[ui + 1] as usize];
-                    let s = row.partition_point(|&v| (v as usize) < lo);
-                    let e = s + row[s..].partition_point(|&v| (v as usize) < hi);
-                    for &v in &row[s..e] {
+                    graph.for_each_out_range(u, lo as NodeId, hi as NodeId, |v| {
                         let h = &mut chunk[v as usize - lo];
                         if h.stamp | 1 != hit_many {
                             *h = HitRecord {
@@ -783,7 +788,7 @@ impl<'g> Engine<'g> {
                         } else {
                             h.stamp = hit_many;
                         }
-                    }
+                    });
                 }
                 // Pushes interleave across transmitters; sort within the
                 // range (each worker sorts its own slice, in parallel).
@@ -941,7 +946,7 @@ impl<'g> Engine<'g> {
         threads: usize,
     ) -> (RunResult, bool)
     where
-        F: Fn(u64) -> &'g DiGraph,
+        F: Fn(u64) -> &'g T,
         P: FusedDecide,
         E: EnergyHook + Sync,
     {
@@ -1005,7 +1010,6 @@ impl<'g> Engine<'g> {
             let hit_many = hit_once | 1;
             let graph = pick(round);
             debug_assert_eq!(graph.n(), n, "topology changed node count mid-run");
-            let (out_offsets, out_neighbors) = graph.out_csr().raw();
 
             // --- decide phase -----------------------------------------------
             protocol.begin_round(round);
@@ -1147,14 +1151,8 @@ impl<'g> Engine<'g> {
             );
 
             // --- transmit phase ---------------------------------------------
-            let touched_sorted = self.scatter_round(
-                &transmitters,
-                out_offsets,
-                out_neighbors,
-                hit_once,
-                hit_many,
-                threads,
-            );
+            let touched_sorted =
+                self.scatter_round(graph, &transmitters, hit_once, hit_many, threads);
 
             // --- delivery phase ---------------------------------------------
             // Serial, ascending receiver order (the contract shared with
@@ -1313,8 +1311,8 @@ fn deliver_one<P: Protocol, E: EnergyHook>(
 }
 
 /// One-shot convenience: build an engine, run once.
-pub fn run_protocol<P: Protocol>(
-    graph: &DiGraph,
+pub fn run_protocol<T: Topology, P: Protocol>(
+    graph: &T,
     protocol: &mut P,
     cfg: EngineConfig,
     rng: &mut ChaCha8Rng,
@@ -1325,8 +1323,8 @@ pub fn run_protocol<P: Protocol>(
 /// One-shot convenience for a parallel run: build an engine, run once
 /// with `threads` scatter workers — see [`Engine::run_par`] for the
 /// bit-identity contract.
-pub fn run_protocol_par<P: Protocol>(
-    graph: &DiGraph,
+pub fn run_protocol_par<T: Topology, P: Protocol>(
+    graph: &T,
     protocol: &mut P,
     cfg: EngineConfig,
     rng: &mut ChaCha8Rng,
@@ -1337,8 +1335,8 @@ pub fn run_protocol_par<P: Protocol>(
 
 /// One-shot convenience for a parallel run under an energy overlay —
 /// see [`Engine::run_par_energy`].
-pub fn run_protocol_par_energy<P: Protocol>(
-    graph: &DiGraph,
+pub fn run_protocol_par_energy<T: Topology, P: Protocol>(
+    graph: &T,
     protocol: &mut P,
     cfg: EngineConfig,
     rng: &mut ChaCha8Rng,
@@ -1351,8 +1349,8 @@ pub fn run_protocol_par_energy<P: Protocol>(
 /// One-shot convenience for a **fused v2** run: build an engine, run
 /// once under the counter-based per-node stream contract with
 /// [`EngineConfig::threads`] workers — see [`Engine::run_fused_par`].
-pub fn run_protocol_fused<P: FusedDecide>(
-    graph: &DiGraph,
+pub fn run_protocol_fused<T: Topology, P: FusedDecide>(
+    graph: &T,
     protocol: &mut P,
     cfg: EngineConfig,
     run_seed: u64,
@@ -1362,8 +1360,8 @@ pub fn run_protocol_fused<P: FusedDecide>(
 
 /// One-shot convenience for a fused v2 run under an energy overlay —
 /// see [`Engine::run_fused_energy`].
-pub fn run_protocol_fused_energy<P: FusedDecide>(
-    graph: &DiGraph,
+pub fn run_protocol_fused_energy<T: Topology, P: FusedDecide>(
+    graph: &T,
     protocol: &mut P,
     cfg: EngineConfig,
     run_seed: u64,
@@ -1374,8 +1372,8 @@ pub fn run_protocol_fused_energy<P: FusedDecide>(
 
 /// One-shot convenience with an energy overlay: build an engine, run
 /// once against `session` — see [`Engine::run_energy`].
-pub fn run_protocol_energy<P: Protocol>(
-    graph: &DiGraph,
+pub fn run_protocol_energy<T: Topology, P: Protocol>(
+    graph: &T,
     protocol: &mut P,
     cfg: EngineConfig,
     rng: &mut ChaCha8Rng,
@@ -1394,8 +1392,8 @@ pub fn run_protocol_energy<P: Protocol>(
 /// # Panics
 /// Panics if `graphs` is empty, `switch_every == 0`, or node counts
 /// differ across snapshots.
-pub fn run_dynamic<P: Protocol>(
-    graphs: &[&DiGraph],
+pub fn run_dynamic<T: Topology, P: Protocol>(
+    graphs: &[&T],
     switch_every: u64,
     protocol: &mut P,
     cfg: EngineConfig,
@@ -1407,8 +1405,8 @@ pub fn run_dynamic<P: Protocol>(
 
 /// [`run_dynamic`] with an energy overlay — mobility plus batteries/duty
 /// costs in one run. Same panics as [`run_dynamic`].
-pub fn run_dynamic_energy<P: Protocol>(
-    graphs: &[&DiGraph],
+pub fn run_dynamic_energy<T: Topology, P: Protocol>(
+    graphs: &[&T],
     switch_every: u64,
     protocol: &mut P,
     cfg: EngineConfig,
@@ -1421,10 +1419,10 @@ pub fn run_dynamic_energy<P: Protocol>(
 
 /// Validate a snapshot sequence and build the round → topology map
 /// shared by [`run_dynamic`] and [`run_dynamic_energy`].
-fn dynamic_schedule<'a>(
-    graphs: &'a [&'a DiGraph],
+fn dynamic_schedule<'a, T: Topology>(
+    graphs: &'a [&'a T],
     switch_every: u64,
-) -> impl Fn(u64) -> &'a DiGraph {
+) -> impl Fn(u64) -> &'a T {
     assert!(!graphs.is_empty(), "need at least one topology snapshot");
     assert!(switch_every > 0, "switch_every must be positive");
     let n = graphs[0].n();

@@ -107,7 +107,8 @@ pub mod prelude {
     };
     pub use radio_graph::generate::*;
     pub use radio_graph::{
-        induced_subgraph, largest_scc, strongly_connected_components, DiGraph, NodeId, Subgraph,
+        induced_subgraph, largest_scc, strongly_connected_components, DiGraph, GridIndex,
+        ImplicitGnp, ImplicitGrid, NodeId, Subgraph, Topology,
     };
     pub use radio_sim::{
         run_dynamic, run_dynamic_energy, run_protocol_energy, run_protocol_fused,

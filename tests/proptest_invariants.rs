@@ -102,4 +102,48 @@ proptest! {
         sorted.dedup();
         prop_assert_eq!(sorted.len(), seeds.len());
     }
+
+    /// Implicit G(n,p) ≡ its materialized CSR — rows, range tilings and
+    /// degree hints — for any (n, p, seed).
+    #[test]
+    fn implicit_gnp_equals_csr(
+        n in 2usize..300,
+        p in 0.0f64..0.3,
+        seed in any::<u64>(),
+    ) {
+        let t = ImplicitGnp::new(n, p, seed);
+        let g = t.materialize();
+        prop_assert_eq!(Topology::n(&t), g.n());
+        let mid = (n / 2) as NodeId;
+        for u in 0..n as NodeId {
+            let mut implicit = Vec::new();
+            t.for_each_out(u, |v| implicit.push(v));
+            prop_assert_eq!(&implicit, &g.out_neighbors(u).to_vec());
+            // Two half-ranges tile the full row, in order.
+            let mut tiled = Vec::new();
+            t.for_each_out_range(u, 0, mid, |v| tiled.push(v));
+            t.for_each_out_range(u, mid, n as NodeId, |v| tiled.push(v));
+            prop_assert_eq!(tiled, implicit);
+        }
+    }
+
+    /// Implicit geometric grid ≡ the materializing generator for the
+    /// same seed — any radius, including the wrapped-scan regime
+    /// r ∈ (1/3, 0.5] where the dedup fix is load-bearing.
+    #[test]
+    fn implicit_grid_equals_csr(
+        n in 2usize..200,
+        r in 0.02f64..=0.5,
+        seed in any::<u64>(),
+    ) {
+        let (g, pos) = random_geometric(n, r, &mut derive_rng(seed, b"prop-topo", 0));
+        let t = ImplicitGrid::generate(n, r, &mut derive_rng(seed, b"prop-topo", 0));
+        prop_assert_eq!(t.positions(), &pos[..]);
+        for u in 0..n as NodeId {
+            let mut implicit = Vec::new();
+            t.for_each_out(u, |v| implicit.push(v));
+            implicit.sort_unstable();
+            prop_assert_eq!(implicit, g.out_neighbors(u).to_vec());
+        }
+    }
 }
