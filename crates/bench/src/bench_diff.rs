@@ -1,0 +1,245 @@
+//! The comparison core of the `bench_compare` CI gate, split out of the
+//! binary so the gating rules are unit-testable (the gate guards every
+//! PR; a silent hole in *it* is worse than a perf regression, which at
+//! least shows up in the numbers eventually).
+//!
+//! Rules, in verdict order:
+//!
+//! * **Regressed** — shared bench whose mean exceeds `baseline · (1 +
+//!   max_regress)`. Fails the gate.
+//! * **Vanished** — baseline bench absent from the current run. Fails
+//!   the gate: a deleted or renamed bench silently un-gates the path it
+//!   guarded, so removals must land together with a baseline refresh
+//!   (the PR that renames `decide_phase/v2` to `v2_cold`/`v2_warm` also
+//!   rewrites `BENCH_baseline.json`, keeping the gate airtight).
+//! * **Suspicious** — shared bench that *improved* beyond
+//!   `1 / (1 + warn_improve)`. Warns, never fails: a genuine win is
+//!   welcome, but a 30%+ "improvement" is at least as often a bench that
+//!   stopped measuring the hot path (dead-code elimination, a changed
+//!   workload constant), so it is flagged for a human to bless — by
+//!   refreshing the baseline, which records the new expectation.
+//! * **NotGated** — thread-scaling entry (`<k>t` id, `k > 1`) compared
+//!   across hosts with different `host_threads`. Reported only; see the
+//!   binary's docs for why cross-core ratios are noise.
+//! * **New** — current bench with no baseline entry. Reported only;
+//!   it starts gating once the baseline is refreshed.
+//! * **Ok** — within budget.
+
+/// One bench entry (flattened `group/id` key + measured mean).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    pub key: String,
+    pub mean_s: f64,
+}
+
+/// Gate outcome for one key; `Regressed` and `Vanished` fail the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    Ok,
+    Regressed,
+    /// Improved so much the bench itself is suspect (warn only).
+    Suspicious,
+    /// In the baseline, not in the current run (fails).
+    Vanished,
+    /// In the current run, not in the baseline (informational).
+    New,
+    /// Thread-scaling entry across mismatched hosts (informational).
+    NotGated,
+}
+
+/// One row of the comparison report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    pub key: String,
+    pub baseline_s: Option<f64>,
+    pub current_s: Option<f64>,
+    pub verdict: Verdict,
+}
+
+impl Finding {
+    /// `current / baseline` where both sides exist.
+    pub fn ratio(&self) -> Option<f64> {
+        Some(self.current_s? / self.baseline_s?)
+    }
+}
+
+/// Gating thresholds + host comparability.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Fail when `current > baseline · (1 + max_regress)`.
+    pub max_regress: f64,
+    /// Warn when `current < baseline / (1 + warn_improve)`.
+    pub warn_improve: f64,
+    /// Whether the two files come from hosts with equal `host_threads`
+    /// (gates the `<k>t` thread-scaling entries).
+    pub cores_match: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            max_regress: 0.30,
+            warn_improve: 0.30,
+            cores_match: true,
+        }
+    }
+}
+
+/// Worker count a thread-scaling bench key declares
+/// (`"engine_par/8t/10000"` → 8); `None` for ordinary keys.
+pub fn id_threads(key: &str) -> Option<u64> {
+    key.split('/')
+        .nth(1)?
+        .strip_suffix('t')
+        .and_then(|d| d.parse().ok())
+}
+
+/// Compare `current` against `baseline` under `cfg`. Findings come out
+/// in current-file order, followed by the baseline-only (vanished)
+/// keys in baseline order — stable input order makes the report diffable.
+pub fn diff(baseline: &[Entry], current: &[Entry], cfg: &DiffConfig) -> Vec<Finding> {
+    let mut findings = Vec::with_capacity(current.len() + baseline.len());
+    for cur in current {
+        let base = baseline.iter().find(|b| b.key == cur.key);
+        let verdict = match base {
+            None => Verdict::New,
+            Some(base) => {
+                let ratio = cur.mean_s / base.mean_s;
+                if !cfg.cores_match && id_threads(&cur.key).is_some_and(|t| t > 1) {
+                    Verdict::NotGated
+                } else if ratio > 1.0 + cfg.max_regress {
+                    Verdict::Regressed
+                } else if ratio < 1.0 / (1.0 + cfg.warn_improve) {
+                    Verdict::Suspicious
+                } else {
+                    Verdict::Ok
+                }
+            }
+        };
+        findings.push(Finding {
+            key: cur.key.clone(),
+            baseline_s: base.map(|b| b.mean_s),
+            current_s: Some(cur.mean_s),
+            verdict,
+        });
+    }
+    for base in baseline {
+        if !current.iter().any(|c| c.key == base.key) {
+            findings.push(Finding {
+                key: base.key.clone(),
+                baseline_s: Some(base.mean_s),
+                current_s: None,
+                verdict: Verdict::Vanished,
+            });
+        }
+    }
+    findings
+}
+
+/// Whether a finding set passes the gate (no regressions, no vanished
+/// baselines) — the binary's exit code, minus the I/O.
+pub fn passes(findings: &[Finding]) -> bool {
+    !findings
+        .iter()
+        .any(|f| matches!(f.verdict, Verdict::Regressed | Verdict::Vanished))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(key: &str, mean_s: f64) -> Entry {
+        Entry {
+            key: key.to_string(),
+            mean_s,
+        }
+    }
+
+    fn verdict_of(findings: &[Finding], key: &str) -> Verdict {
+        findings
+            .iter()
+            .find(|f| f.key == key)
+            .unwrap_or_else(|| panic!("no finding for {key}"))
+            .verdict
+    }
+
+    #[test]
+    fn within_budget_passes() {
+        let base = vec![e("g/a/1", 1.0), e("g/b/1", 2.0)];
+        let cur = vec![e("g/a/1", 1.25), e("g/b/1", 1.9)];
+        let f = diff(&base, &cur, &DiffConfig::default());
+        assert_eq!(verdict_of(&f, "g/a/1"), Verdict::Ok);
+        assert_eq!(verdict_of(&f, "g/b/1"), Verdict::Ok);
+        assert!(passes(&f));
+    }
+
+    #[test]
+    fn regression_fails() {
+        let base = vec![e("g/a/1", 1.0)];
+        let cur = vec![e("g/a/1", 1.31)];
+        let f = diff(&base, &cur, &DiffConfig::default());
+        assert_eq!(verdict_of(&f, "g/a/1"), Verdict::Regressed);
+        assert!(!passes(&f));
+    }
+
+    #[test]
+    fn vanished_baseline_entry_fails() {
+        // The rule this module exists for: deleting or renaming a bench
+        // must fail until the baseline is refreshed alongside it.
+        let base = vec![e("decide_phase/v2/10000", 0.032), e("g/a/1", 1.0)];
+        let cur = vec![e("g/a/1", 1.0), e("decide_phase/v2_warm/10000", 0.006)];
+        let f = diff(&base, &cur, &DiffConfig::default());
+        assert_eq!(verdict_of(&f, "decide_phase/v2/10000"), Verdict::Vanished);
+        assert_eq!(verdict_of(&f, "decide_phase/v2_warm/10000"), Verdict::New);
+        assert!(!passes(&f));
+    }
+
+    #[test]
+    fn large_improvement_warns_but_passes() {
+        let base = vec![e("g/a/1", 1.0)];
+        let cur = vec![e("g/a/1", 0.5)]; // 2× faster: suspicious, not fatal
+        let f = diff(&base, &cur, &DiffConfig::default());
+        assert_eq!(verdict_of(&f, "g/a/1"), Verdict::Suspicious);
+        assert!(passes(&f));
+    }
+
+    #[test]
+    fn improvement_inside_the_warn_band_is_ok() {
+        let base = vec![e("g/a/1", 1.0)];
+        let cur = vec![e("g/a/1", 0.8)]; // −20% < the 30% warn threshold
+        let f = diff(&base, &cur, &DiffConfig::default());
+        assert_eq!(verdict_of(&f, "g/a/1"), Verdict::Ok);
+    }
+
+    #[test]
+    fn thread_entries_ungated_on_core_mismatch_but_vanish_still_fails() {
+        let cfg = DiffConfig {
+            cores_match: false,
+            ..DiffConfig::default()
+        };
+        let base = vec![
+            e("engine_par/8t/10000", 1.0),
+            e("engine_par/2t/10000", 1.0),
+            e("engine_csr/gnp/10000", 1.0),
+        ];
+        // 8t regressed 10x but is not gated across hosts; 2t vanished —
+        // presence is host-independent, so that still fails.
+        let cur = vec![
+            e("engine_par/8t/10000", 10.0),
+            e("engine_csr/gnp/10000", 1.0),
+        ];
+        let f = diff(&base, &cur, &cfg);
+        assert_eq!(verdict_of(&f, "engine_par/8t/10000"), Verdict::NotGated);
+        assert_eq!(verdict_of(&f, "engine_par/2t/10000"), Verdict::Vanished);
+        assert_eq!(verdict_of(&f, "engine_csr/gnp/10000"), Verdict::Ok);
+        assert!(!passes(&f));
+    }
+
+    #[test]
+    fn id_threads_parses_only_thread_ids() {
+        assert_eq!(id_threads("engine_par/8t/10000"), Some(8));
+        assert_eq!(id_threads("engine_fused/1t/10000"), Some(1));
+        assert_eq!(id_threads("engine_csr/gnp/10000"), None);
+        assert_eq!(id_threads("decide_phase/v2_warm/10000"), None);
+    }
+}

@@ -6,12 +6,19 @@
 //!     BENCH_baseline.json BENCH_pr.json --max-regress 0.30 --only engine
 //! ```
 //!
-//! Compares `mean_s` for every `(group, id)` present in both files
-//! (optionally filtered to groups whose name starts with `--only`'s
-//! prefix) and exits non-zero if any current mean exceeds
-//! `baseline · (1 + max_regress)`. Benches present in only one file are
-//! reported but never fail the gate, so adding or removing benches does
-//! not require touching the baseline in the same commit.
+//! Compares `mean_s` for every `(group, id)` key (optionally filtered to
+//! groups whose name starts with `--only`'s prefix). The gating rules
+//! live — unit-tested — in [`radio_bench::bench_diff`]; in short:
+//!
+//! * a shared bench whose mean exceeds `baseline · (1 + max_regress)`
+//!   **fails**;
+//! * a baseline bench missing from the current run **fails** — a
+//!   deleted or renamed bench silently un-gates the path it guarded, so
+//!   removals must ship with a baseline refresh in the same commit;
+//! * a shared bench that *improved* past the same fraction **warns**
+//!   (suspicious: benches that stop measuring the hot path look like
+//!   wins) but does not fail;
+//! * new benches are reported and start gating at the next refresh.
 //!
 //! **Thread-scaling entries** — ids of the form `<k>t/...` with `k > 1`
 //! (`engine_par/8t/10000`, `engine_fused/8t/10000`) — are only *gated*
@@ -22,28 +29,15 @@
 //! runner had one core). On a mismatch they are printed with a warning
 //! and excluded from the verdict; single-thread entries always gate.
 
+use radio_bench::bench_diff::{diff, passes, DiffConfig, Entry, Verdict};
 use radio_util::Json;
 use std::process::ExitCode;
-
-struct Entry {
-    key: String,
-    mean_s: f64,
-}
 
 struct BenchFile {
     entries: Vec<Entry>,
     /// Machine parallelism recorded by the criterion shim; `None` for
     /// files predating the field.
     host_threads: Option<u64>,
-}
-
-/// Worker count a thread-scaling bench key declares
-/// (`"engine_par/8t/10000"` → 8); `None` for ordinary keys.
-fn id_threads(key: &str) -> Option<u64> {
-    key.split('/')
-        .nth(1)?
-        .strip_suffix('t')
-        .and_then(|d| d.parse().ok())
 }
 
 fn load(path: &str) -> Result<BenchFile, String> {
@@ -84,8 +78,11 @@ fn load(path: &str) -> Result<BenchFile, String> {
     })
 }
 
-fn fmt_ms(secs: f64) -> String {
-    format!("{:.3} ms", secs * 1e3)
+fn fmt_ms(secs: Option<f64>) -> String {
+    match secs {
+        Some(s) => format!("{:.3} ms", s * 1e3),
+        None => "—".to_string(),
+    }
 }
 
 fn main() -> ExitCode {
@@ -144,70 +141,75 @@ fn main() -> ExitCode {
         );
     }
 
-    let keep = |key: &str| only.as_deref().is_none_or(|prefix| key.starts_with(prefix));
-    let mut failures = 0usize;
-    let mut compared = 0usize;
+    let keep = |e: &Entry| {
+        only.as_deref()
+            .is_none_or(|prefix| e.key.starts_with(prefix))
+    };
+    let baseline_kept: Vec<Entry> = baseline.entries.into_iter().filter(keep).collect();
+    let current_kept: Vec<Entry> = current.entries.into_iter().filter(keep).collect();
+    let cfg = DiffConfig {
+        max_regress,
+        warn_improve: max_regress,
+        cores_match,
+    };
+    let findings = diff(&baseline_kept, &current_kept, &cfg);
+
     println!(
-        "{:<32} {:>12} {:>12} {:>8}  verdict (gate: +{:.0}%)",
+        "{:<32} {:>12} {:>12} {:>8}  verdict (gate: ±{:.0}%)",
         "bench",
         "baseline",
         "current",
         "ratio",
         max_regress * 100.0
     );
-    for cur in current.entries.iter().filter(|e| keep(&e.key)) {
-        match baseline.entries.iter().find(|b| b.key == cur.key) {
-            Some(base) => {
-                let ratio = cur.mean_s / base.mean_s;
-                if !cores_match && id_threads(&cur.key).is_some_and(|t| t > 1) {
-                    println!(
-                        "{:<32} {:>12} {:>12} {:>7.2}x  host_threads mismatch (not gated)",
-                        cur.key,
-                        fmt_ms(base.mean_s),
-                        fmt_ms(cur.mean_s),
-                        ratio,
-                    );
-                    continue;
-                }
+    let mut compared = 0usize;
+    let mut failures = 0usize;
+    for f in &findings {
+        let ratio = f.ratio().map_or_else(String::new, |r| format!("{r:.2}x"));
+        let verdict = match f.verdict {
+            Verdict::Ok => {
                 compared += 1;
-                let regressed = ratio > 1.0 + max_regress;
-                if regressed {
-                    failures += 1;
-                }
-                println!(
-                    "{:<32} {:>12} {:>12} {:>7.2}x  {}",
-                    cur.key,
-                    fmt_ms(base.mean_s),
-                    fmt_ms(cur.mean_s),
-                    ratio,
-                    if regressed { "REGRESSED" } else { "ok" }
-                );
+                "ok".to_string()
             }
-            None => println!(
-                "{:<32} {:>12} {:>12}   new bench (not gated)",
-                cur.key,
-                "—",
-                fmt_ms(cur.mean_s)
-            ),
-        }
-    }
-    for base in baseline.entries.iter().filter(|e| keep(&e.key)) {
-        if !current.entries.iter().any(|c| c.key == base.key) {
-            println!(
-                "{:<32} {:>12} {:>12}   missing from current (not gated)",
-                base.key,
-                fmt_ms(base.mean_s),
-                "—"
-            );
-        }
+            Verdict::Regressed => {
+                compared += 1;
+                failures += 1;
+                "REGRESSED".to_string()
+            }
+            Verdict::Suspicious => {
+                compared += 1;
+                format!(
+                    "suspicious: improved >{:.0}% — verify the bench still \
+                     measures the hot path, then refresh the baseline",
+                    max_regress * 100.0
+                )
+            }
+            Verdict::Vanished => {
+                failures += 1;
+                "VANISHED from current run — removed/renamed benches must ship \
+                 with a baseline refresh"
+                    .to_string()
+            }
+            Verdict::New => "new bench (not gated)".to_string(),
+            Verdict::NotGated => "host_threads mismatch (not gated)".to_string(),
+        };
+        println!(
+            "{:<32} {:>12} {:>12} {:>8}  {}",
+            f.key,
+            fmt_ms(f.baseline_s),
+            fmt_ms(f.current_s),
+            ratio,
+            verdict,
+        );
     }
 
     if compared == 0 {
         return die("no comparable benches between the two files");
     }
-    if failures > 0 {
+    if !passes(&findings) {
         eprintln!(
-            "error: {failures} bench(es) regressed more than {:.0}%",
+            "error: {failures} bench(es) failed the gate (regressed more than \
+             {:.0}% or vanished from the current run)",
             max_regress * 100.0
         );
         return ExitCode::FAILURE;
@@ -220,7 +222,9 @@ fn usage() {
     eprintln!(
         "usage: bench_compare <baseline.json> <current.json> [--max-regress FRAC] [--only GROUP_PREFIX]\n\
          Compares criterion-shim JSON results; exits 1 when a shared bench's mean\n\
-         regresses beyond the budget (default 0.30 = +30%)."
+         regresses beyond the budget (default 0.30 = +30%) or a baseline bench is\n\
+         missing from the current run. Improvements beyond the same fraction warn\n\
+         (the bench may have stopped measuring the hot path)."
     );
 }
 

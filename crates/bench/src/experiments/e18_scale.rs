@@ -110,7 +110,13 @@ fn p_equiv(cell: &SweepCell, graph: &DiGraph) -> f64 {
 /// `tests/determinism.rs`, asserted on the JSON bytes by the smoke
 /// test). Generic over [`Topology`] so the implicit-backend section
 /// drives the exact same trial code as the CSR sweep.
-fn trial_body<T: Topology>(alg: &str, graph: &T, p_eq: f64, seed: u64, threads: usize) -> TrialResult {
+fn trial_body<T: Topology>(
+    alg: &str,
+    graph: &T,
+    p_eq: f64,
+    seed: u64,
+    threads: usize,
+) -> TrialResult {
     let n = Topology::n(graph);
     let cfg = |max_rounds: u64| EngineConfig::with_max_rounds(max_rounds).with_threads(threads);
     let trial = match alg {
@@ -420,7 +426,7 @@ pub fn run_implicit_section(
 
                 let successes = results.iter().filter(|r| r.success).count();
                 let mean = |f: &dyn Fn(&TrialResult) -> f64| {
-                    results.iter().map(|r| f(r)).sum::<f64>() / results.len() as f64
+                    results.iter().map(f).sum::<f64>() / results.len() as f64
                 };
                 let rounds = mean(&|r| r.rounds as f64);
                 let msgs = mean(&|r| r.total_transmissions as f64);
@@ -453,7 +459,10 @@ pub fn run_implicit_section(
                     ("rounds_mean", Json::Num(rounds)),
                     ("transmissions_mean", Json::Num(msgs)),
                     ("msgs_per_node_mean", Json::Num(msgs / n as f64)),
-                    ("max_transmissions_per_node", Json::Num(f64::from(max_per_node))),
+                    (
+                        "max_transmissions_per_node",
+                        Json::Num(f64::from(max_per_node)),
+                    ),
                 ]));
                 cell_idx += 1;
             }

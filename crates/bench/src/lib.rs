@@ -13,6 +13,7 @@
 //! `EXPERIMENTS.md`) and writes the same content to `results/<id>.md`.
 //! Criterion micro-benchmarks of the substrate live under `benches/`.
 
+pub mod bench_diff;
 pub mod common;
 pub mod experiments;
 

@@ -35,7 +35,7 @@ use super::{BroadcastOutcome, InformedSet};
 use crate::params::GnpParams;
 use radio_graph::{NodeId, Topology};
 use radio_sim::{Action, EngineConfig, Protocol};
-use rand::RngExt;
+use rand::Bernoulli;
 use rand_chacha::ChaCha8Rng;
 
 /// Configuration for Algorithm 1.
@@ -107,6 +107,13 @@ pub struct EeRandomBroadcast {
     active: usize,
     /// Defensive double-send detector backing the ≤ 1 invariant.
     sent: Vec<bool>,
+    /// Phase-2/3 transmit coins with the threshold precomputed once at
+    /// construction — `q2`/`q3` are run constants (clamped to `(0, 1]`
+    /// by [`GnpParams`]), so nothing round-dependent remains.
+    /// [`Bernoulli`] is draw-for-draw bit-compatible with the
+    /// `random_bool` calls it replaces.
+    coin2: Bernoulli,
+    coin3: Bernoulli,
 }
 
 impl EeRandomBroadcast {
@@ -122,6 +129,8 @@ impl EeRandomBroadcast {
             source,
             active: 1,
             sent: vec![false; n],
+            coin2: Bernoulli::new(cfg.params.q2),
+            coin3: Bernoulli::new(cfg.params.q3),
         }
     }
 
@@ -234,7 +243,7 @@ impl radio_sim::FusedDecide for EeRandomBroadcast {
             Action::Transmit
         } else if Some(round) == phase2_round {
             // Phase 2: transmit w.p. 1/(d^T p); passivation per config.
-            if rng.random_bool(p.q2) {
+            if self.coin2.sample(rng) {
                 Action::Transmit
             } else if self.cfg.phase2_all_passive {
                 Action::Sleep
@@ -243,7 +252,7 @@ impl radio_sim::FusedDecide for EeRandomBroadcast {
             }
         } else if round <= self.cfg.schedule_end() {
             // Phase 3: transmit w.p. q3; only transmitters passivate.
-            if rng.random_bool(p.q3) {
+            if self.coin3.sample(rng) {
                 Action::Transmit
             } else {
                 Action::Silent

@@ -18,7 +18,7 @@ use super::{BroadcastOutcome, InformedSet};
 use crate::seq::{KDistribution, SharedSequence};
 use radio_graph::{NodeId, Topology};
 use radio_sim::{Action, EngineConfig, Protocol};
-use rand::RngExt;
+use rand::{Bernoulli, RngExt};
 use rand_chacha::ChaCha8Rng;
 
 /// Where a node's per-round send probability comes from.
@@ -71,6 +71,48 @@ impl ProbSource {
             ProbSource::Fixed(q) => *q,
         }
     }
+
+    /// The round's probability when it is the same for every node
+    /// (everything but `Private`, whose q is a per-node draw).
+    fn q_round(&self, round: u64) -> Option<f64> {
+        match self {
+            ProbSource::Shared(seq) => Some(seq.q_cached(round)),
+            ProbSource::Cycle(c) => Some(c[((round - 1) % c.len() as u64) as usize]),
+            ProbSource::Private(_) => None,
+            ProbSource::Fixed(q) => Some(*q),
+        }
+    }
+}
+
+/// The round's transmit coin, resolved once per round in `begin_round`
+/// instead of once per node: the `q ≥ 1` / `q ≤ 0` edge tests and the
+/// [`Bernoulli`] threshold precomputation are all per-node constants for
+/// every source except `Private`. Draw-for-draw compatible with the
+/// inline `q_pure` + `random_bool` path it replaces: `Always`/`Never`
+/// consume nothing (the old short-circuits), `Coin` consumes exactly
+/// one `next_u64` and returns the identical boolean ([`Bernoulli`]'s
+/// documented bit-compatibility).
+#[derive(Debug, Clone, Copy)]
+enum RoundCoin {
+    /// `Private` source: q is a per-node draw; use the generic path.
+    PerNode,
+    /// `q ≥ 1` this round — transmit without drawing.
+    Always,
+    /// `q ≤ 0` this round — stay silent without drawing.
+    Never,
+    /// `0 < q < 1` — one precomputed-threshold draw per node.
+    Coin(Bernoulli),
+}
+
+impl RoundCoin {
+    fn for_round(source: &ProbSource, round: u64) -> Self {
+        match source.q_round(round) {
+            None => RoundCoin::PerNode,
+            Some(q) if q >= 1.0 => RoundCoin::Always,
+            Some(q) if q <= 0.0 => RoundCoin::Never,
+            Some(q) => RoundCoin::Coin(Bernoulli::new(q)),
+        }
+    }
 }
 
 /// Full specification of a windowed broadcast protocol.
@@ -95,6 +137,9 @@ pub struct WindowedBroadcast {
     source: NodeId,
     /// Informed nodes that have not yet retired (window still open).
     active: usize,
+    /// This round's transmit coin (set by `begin_round`; `PerNode`
+    /// until then, which is the always-correct generic path).
+    coin: RoundCoin,
 }
 
 impl WindowedBroadcast {
@@ -105,6 +150,7 @@ impl WindowedBroadcast {
             informed: InformedSet::new(n, source),
             source,
             active: 1,
+            coin: RoundCoin::PerNode,
         }
     }
 
@@ -132,7 +178,9 @@ impl Protocol for WindowedBroadcast {
         // The draw pattern matches the pre-split code exactly (the
         // shared sequence expands from its own stream; `Private`
         // samples from `rng`), so v1 trajectories stay bit-compatible.
-        self.spec.source.prepare(round);
+        // `begin_round` is idempotent — re-running it per poll just
+        // recomputes the same round coin.
+        radio_sim::FusedDecide::begin_round(self, round);
         radio_sim::FusedDecide::decide_and_commit(self, node, round, rng)
     }
 
@@ -188,6 +236,7 @@ impl Protocol for WindowedBroadcast {
 impl radio_sim::FusedDecide for WindowedBroadcast {
     fn begin_round(&mut self, round: u64) {
         self.spec.source.prepare(round);
+        self.coin = RoundCoin::for_round(&self.spec.source, round);
     }
 
     fn decide_pure(&self, node: NodeId, round: u64, rng: &mut ChaCha8Rng) -> Action {
@@ -201,11 +250,24 @@ impl radio_sim::FusedDecide for WindowedBroadcast {
                 return Action::Sleep;
             }
         }
-        let q = self.spec.source.q_pure(round, rng);
-        if q >= 1.0 || (q > 0.0 && rng.random_bool(q)) {
-            Action::Transmit
-        } else {
-            Action::Silent
+        match self.coin {
+            RoundCoin::Always => Action::Transmit,
+            RoundCoin::Never => Action::Silent,
+            RoundCoin::Coin(b) => {
+                if b.sample(rng) {
+                    Action::Transmit
+                } else {
+                    Action::Silent
+                }
+            }
+            RoundCoin::PerNode => {
+                let q = self.spec.source.q_pure(round, rng);
+                if q >= 1.0 || (q > 0.0 && rng.random_bool(q)) {
+                    Action::Transmit
+                } else {
+                    Action::Silent
+                }
+            }
         }
     }
 

@@ -115,7 +115,7 @@ mod capacity_tests {
         assert_eq!(planned, Some(8.6e11 as u128 + 16));
         let (cap2, planned2) = edge_capacity_planned(1 << 14, 1e30);
         assert_eq!(cap2, MAX_PREALLOC_EDGES);
-        let max_e = ((1u128 << 14) * ((1 << 14) - 1)) as u128;
+        let max_e = (1u128 << 14) * ((1 << 14) - 1);
         assert_eq!(planned2, Some(max_e), "planned figure must be feasible");
     }
 

@@ -59,7 +59,11 @@ impl ImplicitGnp {
     /// The paper's parameterisation `d = np`: edge probability `d / n`,
     /// capped at 1.
     pub fn with_expected_degree(n: usize, d: f64, graph_seed: u64) -> Self {
-        let p = if n == 0 { 0.0 } else { (d / n as f64).clamp(0.0, 1.0) };
+        let p = if n == 0 {
+            0.0
+        } else {
+            (d / n as f64).clamp(0.0, 1.0)
+        };
         Self::new(n, p, graph_seed)
     }
 
@@ -236,7 +240,12 @@ mod tests {
         assert!((mean_deg - 24.0).abs() < 2.0, "mean degree {mean_deg}");
         // Degenerate corners: d > n caps at p = 1; n = 0 stays empty.
         assert_eq!(ImplicitGnp::with_expected_degree(4, 100.0, 0).p(), 1.0);
-        assert_eq!(ImplicitGnp::with_expected_degree(0, 8.0, 0).materialize().n(), 0);
+        assert_eq!(
+            ImplicitGnp::with_expected_degree(0, 8.0, 0)
+                .materialize()
+                .n(),
+            0
+        );
     }
 
     #[test]

@@ -85,9 +85,7 @@ impl GridIndex {
             "too many points for NodeId"
         );
         let cap = ((4 * pos.len().max(16)) as f64).sqrt() as usize;
-        let cells = ((1.0 / min_cell_width).floor() as usize)
-            .min(cap)
-            .max(1);
+        let cells = ((1.0 / min_cell_width).floor() as usize).min(cap).max(1);
         let nc = cells * cells;
         let cell_index = |p: (f64, f64)| -> usize {
             let cx = ((p.0 * cells as f64) as usize).min(cells - 1);
@@ -250,7 +248,9 @@ impl Topology for ImplicitGrid {
     fn degree_hint(&self, u: NodeId) -> u64 {
         // Candidate count minus self: an upper bound that is cheap
         // (≤ 9 bucket length lookups) and tight within a small factor.
-        self.grid.candidate_count(self.pos[u as usize]).saturating_sub(1)
+        self.grid
+            .candidate_count(self.pos[u as usize])
+            .saturating_sub(1)
     }
 
     #[inline]
@@ -273,11 +273,7 @@ impl Topology for ImplicitGrid {
         let pu = self.pos[u as usize];
         self.grid.for_each_candidate_bucket(pu, |bucket| {
             for &v in bucket {
-                if v != u
-                    && v >= lo
-                    && v < hi
-                    && torus_dist2(pu, self.pos[v as usize]) <= self.r2
-                {
+                if v != u && v >= lo && v < hi && torus_dist2(pu, self.pos[v as usize]) <= self.r2 {
                     f(v);
                 }
             }

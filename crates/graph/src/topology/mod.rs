@@ -137,8 +137,11 @@ mod tests {
             {
                 let mut part = Vec::new();
                 g.for_each_out_range(u as NodeId, lo, hi, |v| part.push(v));
-                let want: Vec<NodeId> =
-                    full.iter().copied().filter(|&v| v >= lo && v < hi).collect();
+                let want: Vec<NodeId> = full
+                    .iter()
+                    .copied()
+                    .filter(|&v| v >= lo && v < hi)
+                    .collect();
                 assert_eq!(part, want);
             }
         }

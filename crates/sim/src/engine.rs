@@ -248,6 +248,102 @@ enum DecideEvent {
     Dead,
 }
 
+/// Evaluate the fused decide phase over one span of the awake list,
+/// generating the nodes' decide blocks in **wide ChaCha batches**
+/// ([`rand_chacha::chacha8_blocks`]) instead of one scalar block per draw.
+///
+/// Bit-compatibility is by construction: each lane of a wide refill is
+/// exactly the block the node's positioned stream would have generated
+/// lazily, the streams are built from the run's cached per-node keys
+/// (`node_keys[v] == DecideStreams::node_key(v)` for every live entry),
+/// and events are pushed in span order — including `Dead` events, which
+/// flush the queued lanes first so ordering matches a strictly
+/// sequential evaluation. The only observable difference from the
+/// scalar path is speed: a node whose `decide_pure` draws nothing gets
+/// a block generated that the scalar path would have skipped, but an
+/// unread block influences nothing.
+///
+/// Shared verbatim by the serial path and every parallel worker (a
+/// chunk boundary can at worst split a batch, never change a draw), so
+/// thread-count independence is inherited, not re-proven.
+fn decide_span<P, E>(
+    span: &[NodeId],
+    is_awake: &[bool],
+    node_keys: &[[u32; 8]],
+    round: u64,
+    protocol: &P,
+    hook: &E,
+    out: &mut Vec<(NodeId, DecideEvent)>,
+) where
+    P: FusedDecide,
+    E: EnergyHook,
+{
+    const MAX: usize = rand_chacha::MAX_WIDE_LANES;
+    fn flush<P: FusedDecide>(
+        nodes: &[NodeId],
+        keys: &[[u32; 8]],
+        counters: &[u64],
+        blocks: &mut [[u32; 16]],
+        round: u64,
+        protocol: &P,
+        out: &mut Vec<(NodeId, DecideEvent)>,
+    ) {
+        let k = nodes.len();
+        // All lanes of a span share one block index (the counter array
+        // is a span-wide constant).
+        let block = counters[0];
+        rand_chacha::chacha8_blocks(&keys[..k], &counters[..k], &mut blocks[..k]);
+        for (l, &v) in nodes.iter().enumerate() {
+            // The lane's positioned stream, from the batch-computed
+            // block: no scalar ChaCha work, and draws past the block
+            // boundary continue the keystream exactly like a lazily
+            // refilled stream would.
+            let mut rng = ChaCha8Rng::from_generated_block(keys[l], block, blocks[l]);
+            match protocol.decide_pure(v, round, &mut rng) {
+                Action::Silent => {}
+                Action::Transmit => out.push((v, DecideEvent::Transmit)),
+                Action::Sleep => out.push((v, DecideEvent::Sleep)),
+            }
+        }
+    }
+
+    let lanes = rand_chacha::wide_lanes().min(MAX);
+    let block = DecideStreams::decide_block(round);
+    let mut nodes = [0 as NodeId; MAX];
+    let mut keys = [[0u32; 8]; MAX];
+    // Every lane of a round reads the same block index of its own
+    // keystream, so the counter array is a span-wide constant.
+    let counters = [block; MAX];
+    let mut blocks = [[0u32; 16]; MAX];
+    let mut k = 0usize;
+    for &v in span {
+        if !is_awake[v as usize] {
+            continue; // stale entry
+        }
+        if E::ACTIVE && hook.is_dead(v, round) {
+            if k > 0 {
+                #[rustfmt::skip]
+                flush(&nodes[..k], &keys, &counters, &mut blocks, round, protocol, out);
+                k = 0;
+            }
+            out.push((v, DecideEvent::Dead));
+            continue;
+        }
+        nodes[k] = v;
+        keys[k] = node_keys[v as usize];
+        k += 1;
+        if k == lanes {
+            #[rustfmt::skip]
+            flush(&nodes[..k], &keys, &counters, &mut blocks, round, protocol, out);
+            k = 0;
+        }
+    }
+    if k > 0 {
+        #[rustfmt::skip]
+        flush(&nodes[..k], &keys, &counters, &mut blocks, round, protocol, out);
+    }
+}
+
 /// Reusable simulation engine for one graph.
 ///
 /// Generic over the [`Topology`] backend, with the CSR [`DiGraph`] as
@@ -301,6 +397,12 @@ pub struct Engine<'g, T: Topology = DiGraph> {
     events: Vec<(NodeId, DecideEvent)>,
     /// Per-worker decide events of the fused engine's parallel phase.
     par_events: Vec<Vec<(NodeId, DecideEvent)>>,
+    /// Per-node ChaCha key words for the fused engine's v2 streams,
+    /// filled lazily at node-wake time each run (32 B/node; sized on
+    /// the first fused run so v1-only engines never pay for it). Read
+    /// concurrently by the decide workers; written only in the serial
+    /// init/delivery phases.
+    node_keys: Vec<[u32; 8]>,
 }
 
 impl<'g, T: Topology> Engine<'g, T> {
@@ -320,6 +422,7 @@ impl<'g, T: Topology> Engine<'g, T> {
             transmitters: Vec::with_capacity(n),
             events: Vec::with_capacity(n),
             par_events: Vec::new(),
+            node_keys: Vec::new(),
         }
     }
 
@@ -976,6 +1079,7 @@ impl<'g, T: Topology> Engine<'g, T> {
         let mut awake_list = std::mem::take(&mut self.awake_list);
         let mut transmitters = std::mem::take(&mut self.transmitters);
         let mut events = std::mem::take(&mut self.events);
+        let mut node_keys = std::mem::take(&mut self.node_keys);
         is_awake.clear();
         is_awake.resize(n, false);
         in_list.clear();
@@ -983,6 +1087,14 @@ impl<'g, T: Topology> Engine<'g, T> {
         awake_list.clear();
         transmitters.clear();
         events.clear();
+        // The key cache needs sizing, not clearing: every entry is
+        // (re)derived for this run's seed at the node's wake — before
+        // any decide reads it — so stale words from a previous run are
+        // never observable.
+        if node_keys.len() != n {
+            node_keys.clear();
+            node_keys.resize(n, [0u32; 8]);
+        }
         let mut awake_count = 0usize;
         let mut stale = 0usize;
         for v in protocol.initially_awake() {
@@ -990,6 +1102,7 @@ impl<'g, T: Topology> Engine<'g, T> {
                 is_awake[v as usize] = true;
                 in_list[v as usize] = true;
                 awake_count += 1;
+                node_keys[v as usize] = streams.node_key(v);
                 awake_list.push(v);
             }
         }
@@ -1034,6 +1147,7 @@ impl<'g, T: Topology> Engine<'g, T> {
                 }
                 let par_events = &mut self.par_events[..t];
                 let awake: &[bool] = &is_awake;
+                let keys: &[[u32; 8]] = &node_keys;
                 let hook_now: &E = hook;
                 let proto: &P = protocol;
                 let mut rest: &[NodeId] = &awake_list;
@@ -1048,21 +1162,7 @@ impl<'g, T: Topology> Engine<'g, T> {
                         // non-silently (no-op once warmed up).
                         ev_w.reserve(chunk.len());
                         let work = move |ev_w: &mut Vec<(NodeId, DecideEvent)>| {
-                            for &v in chunk {
-                                if !awake[v as usize] {
-                                    continue; // stale entry
-                                }
-                                if E::ACTIVE && hook_now.is_dead(v, round) {
-                                    ev_w.push((v, DecideEvent::Dead));
-                                    continue;
-                                }
-                                match proto.decide_pure(v, round, &mut streams.decide_rng(v, round))
-                                {
-                                    Action::Silent => {}
-                                    Action::Transmit => ev_w.push((v, DecideEvent::Transmit)),
-                                    Action::Sleep => ev_w.push((v, DecideEvent::Sleep)),
-                                }
-                            }
+                            decide_span(chunk, awake, keys, round, proto, hook_now, ev_w);
                         };
                         if w + 1 == t {
                             work(ev_w);
@@ -1076,20 +1176,15 @@ impl<'g, T: Topology> Engine<'g, T> {
                     events.extend_from_slice(w);
                 }
             } else {
-                for &v in &awake_list {
-                    if !is_awake[v as usize] {
-                        continue; // stale entry
-                    }
-                    if E::ACTIVE && hook.is_dead(v, round) {
-                        events.push((v, DecideEvent::Dead));
-                        continue;
-                    }
-                    match protocol.decide_pure(v, round, &mut streams.decide_rng(v, round)) {
-                        Action::Silent => {}
-                        Action::Transmit => events.push((v, DecideEvent::Transmit)),
-                        Action::Sleep => events.push((v, DecideEvent::Sleep)),
-                    }
-                }
+                decide_span(
+                    &awake_list,
+                    &is_awake,
+                    &node_keys,
+                    round,
+                    protocol,
+                    hook,
+                    &mut events,
+                );
             }
 
             // --- serial commit (poll order) ---------------------------------
@@ -1188,10 +1283,12 @@ impl<'g, T: Topology> Engine<'g, T> {
                         is_awake[vi] = true;
                         awake_count += 1;
                         if in_list[vi] {
-                            // Re-woken stale entry: already listed.
+                            // Re-woken stale entry: already listed (and
+                            // its key is already cached for this run).
                             stale -= 1;
                         } else {
                             in_list[vi] = true;
+                            node_keys[vi] = streams.node_key(v);
                             awake_list.push(v);
                         }
                     }
@@ -1236,6 +1333,7 @@ impl<'g, T: Topology> Engine<'g, T> {
         self.awake_list = awake_list;
         self.transmitters = transmitters;
         self.events = events;
+        self.node_keys = node_keys;
 
         metrics.set_rounds(rounds);
         let hit_round_cap = !completed && rounds >= self.cfg.max_rounds;

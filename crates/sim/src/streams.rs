@@ -38,7 +38,6 @@
 
 use radio_graph::NodeId;
 use radio_util::split_seed;
-use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// Blocks per round per node: one decide lane + one receive lane.
@@ -65,15 +64,50 @@ impl DecideStreams {
         self.run_seed
     }
 
+    /// `node`'s ChaCha key words — the cacheable identity of its stream
+    /// family. Equal to the key `seed_from_u64(split_seed(run_seed,
+    /// b"v2-node", node))` installs, exposed so the fused engine can pay
+    /// the SplitMix64 fan-out + expansion **once per node per run**
+    /// instead of once per draw, rebuilding positioned streams from the
+    /// cached words (see [`Self::rng_from_key`]).
+    #[inline]
+    pub fn node_key(&self, node: NodeId) -> [u32; 8] {
+        rand_chacha::key_words_from_u64(split_seed(self.run_seed, b"v2-node", u64::from(node)))
+    }
+
+    /// Block index of the decide lane for `round` (block `2r`).
+    #[inline]
+    pub fn decide_block(round: u64) -> u64 {
+        round.wrapping_mul(LANES)
+    }
+
+    /// Block index of the receive lane for `round` (block `2r + 1`).
+    #[inline]
+    pub fn receive_block(round: u64) -> u64 {
+        round.wrapping_mul(LANES).wrapping_add(1)
+    }
+
+    /// A stream for a cached [`node_key`](Self::node_key), positioned at
+    /// `block` — bit-identical to deriving the node's stream from
+    /// scratch and seeking there, minus the key derivation. Lazy like
+    /// every other construction: no block is computed until a draw (or a
+    /// batched [`rand_chacha::refill_wide`]) forces it.
+    #[inline]
+    pub fn rng_from_key(key: [u32; 8], block: u64) -> ChaCha8Rng {
+        let mut rng = ChaCha8Rng::from_key_words(key);
+        rng.set_block_pos(block);
+        rng
+    }
+
     #[inline]
     fn lane(&self, node: NodeId, round: u64, lane: u64) -> ChaCha8Rng {
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(split_seed(self.run_seed, b"v2-node", u64::from(node)));
         // Keyed per node; the round indexes the keystream. Seeding and
         // seeking are both lazy state setup — the ChaCha block is only
         // computed if the consumer actually draws.
-        rng.set_block_pos(round.wrapping_mul(LANES).wrapping_add(lane));
-        rng
+        Self::rng_from_key(
+            self.node_key(node),
+            round.wrapping_mul(LANES).wrapping_add(lane),
+        )
     }
 
     /// `node`'s decide stream for `round`, positioned at its own block.
@@ -128,6 +162,40 @@ mod tests {
         assert_eq!(
             rand::RngCore::next_u32(&mut d),
             rand::RngCore::next_u32(&mut r)
+        );
+    }
+
+    #[test]
+    fn cached_keys_rebuild_the_same_streams() {
+        // The batched path (cache node_key once, rebuild positioned
+        // streams from it) must be indistinguishable from the from-
+        // scratch derivation — for both lanes, at any round.
+        let s = DecideStreams::new(0xCAFE);
+        for node in [0u32, 3, 1000] {
+            let key = s.node_key(node);
+            for round in [1u64, 2, 77, 1 << 40] {
+                let mut a = s.decide_rng(node, round);
+                let mut b = DecideStreams::rng_from_key(key, DecideStreams::decide_block(round));
+                assert_eq!(a.random::<u64>(), b.random::<u64>());
+                let mut a = s.receive_rng(node, round);
+                let mut b = DecideStreams::rng_from_key(key, DecideStreams::receive_block(round));
+                assert_eq!(a.random::<u64>(), b.random::<u64>());
+            }
+        }
+    }
+
+    #[test]
+    fn block_indices_match_the_documented_layout() {
+        assert_eq!(DecideStreams::decide_block(3), 6);
+        assert_eq!(DecideStreams::receive_block(3), 7);
+        let s = DecideStreams::new(9);
+        assert_eq!(
+            s.decide_rng(5, 3).block_pos(),
+            DecideStreams::decide_block(3)
+        );
+        assert_eq!(
+            s.receive_rng(5, 3).block_pos(),
+            DecideStreams::receive_block(3)
         );
     }
 

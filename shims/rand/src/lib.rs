@@ -230,6 +230,67 @@ fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
     }
 }
 
+/// A Bernoulli(p) distribution with the threshold comparison
+/// precomputed — the repeated-draw form of
+/// [`RngExt::random_bool`], **bit-compatible with it by construction**
+/// on every generator: both consume exactly one `next_u64` and return
+/// the same boolean for the same word.
+///
+/// `random_bool` computes `((x >> 11) as f64 * 2⁻⁵³) < p`. Every step
+/// of that float path is exact (the 53-bit mantissa fits, and the scale
+/// is a power of two), so the comparison is *equivalent to an integer
+/// compare*: `(x >> 11) < ⌈p·2⁵³⌉`. `Bernoulli` stores that 53-bit
+/// threshold split at the word boundary and resolves the draw on the
+/// **leading 32 bits alone** — one integer compare, no int→float
+/// conversion — falling back to the remaining 21 bits only when the
+/// leading words tie (probability 2⁻³²). This is the "degraded
+/// precision fast lane" of the batched decide kernel: same bits out,
+/// a fraction of the per-draw cost in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bernoulli {
+    /// `⌈p·2⁵³⌉ >> 21` — compared against the draw's high 32 bits.
+    /// `u64` because p = 1 gives 2³², one past the u32 domain.
+    hi: u64,
+    /// `⌈p·2⁵³⌉ & 0x1F_FFFF` — the tie-breaking low 21 bits.
+    lo: u32,
+}
+
+impl Bernoulli {
+    /// Precompute the distribution for probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]` (same domain as
+    /// [`RngExt::random_bool`]).
+    #[inline]
+    pub fn new(p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "Bernoulli::new called with p = {p}, outside [0, 1]"
+        );
+        // Exact: p·2⁵³ rounds nothing (power-of-two scale), ceil is
+        // exact, and the result ≤ 2⁵³ converts exactly.
+        let threshold = (p * (1u64 << 53) as f64).ceil() as u64;
+        Bernoulli {
+            hi: threshold >> 21,
+            lo: (threshold & 0x1F_FFFF) as u32,
+        }
+    }
+
+    /// Draw: `true` with probability `p`. Consumes exactly one
+    /// `next_u64`, like `random_bool`, and agrees with it bit-for-bit
+    /// on the same stream position.
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        let x = rng.next_u64();
+        let w1 = x >> 32;
+        if w1 != self.hi {
+            w1 < self.hi
+        } else {
+            (((x >> 11) & 0x1F_FFFF) as u32) < self.lo
+        }
+    }
+}
+
 /// Convenience sampling methods, blanket-implemented for every generator.
 pub trait RngExt: RngCore {
     /// Draw a value of type `T` from the standard distribution
@@ -353,5 +414,69 @@ mod tests {
         take_generic(&mut rng);
         let dynrng: &mut dyn RngCore = &mut rng;
         dynrng.next_u64();
+    }
+
+    #[test]
+    fn bernoulli_is_bit_compatible_with_random_bool() {
+        // The load-bearing property: for *any* p and any stream
+        // position, `Bernoulli::new(p).sample(rng)` returns exactly what
+        // `rng.random_bool(p)` would have, consuming the same one word.
+        let mut ps = vec![
+            0.0,
+            1.0,
+            0.5,
+            0.05,
+            1.0 / (1u64 << 53) as f64, // smallest non-trivial threshold
+            f64::MIN_POSITIVE,         // threshold still ceils to 1
+            1.0 - f64::EPSILON,
+            0.2,
+            0.3333333333333333,
+        ];
+        // Adversarial ps: thresholds landing exactly on the 21-bit
+        // split, so the tie path and its boundaries all get exercised.
+        for hi in [0u64, 1, 77, (1 << 32) - 1] {
+            for lo in [0u64, 1, 0x1F_FFFF] {
+                let t = (hi << 21) | lo;
+                ps.push(t as f64 / (1u64 << 53) as f64);
+            }
+        }
+        let mut seedgen = Counter(7);
+        for p in ps {
+            let d = Bernoulli::new(p);
+            let seed = seedgen.next_u64();
+            let mut a = Counter(seed);
+            let mut b = Counter(seed);
+            for i in 0..4_000 {
+                assert_eq!(a.random_bool(p), d.sample(&mut b), "p = {p:e}, draw {i}");
+            }
+            assert_eq!(a.0, b.0, "p = {p:e}: streams desynchronised");
+        }
+    }
+
+    #[test]
+    fn bernoulli_degenerate_probabilities() {
+        let mut rng = Counter(3);
+        let always = Bernoulli::new(1.0);
+        let never = Bernoulli::new(0.0);
+        for _ in 0..1_000 {
+            assert!(always.sample(&mut rng));
+            assert!(!never.sample(&mut rng));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bernoulli_rejects_out_of_range() {
+        let _ = Bernoulli::new(1.5);
+    }
+
+    #[test]
+    fn bernoulli_hits_the_expected_rate() {
+        let mut rng = Counter(11);
+        let d = Bernoulli::new(0.3);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| d.sample(&mut rng)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate} far from 0.3");
     }
 }

@@ -38,6 +38,381 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
     state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
 
+/// One ChaCha8 output block for `key` at block counter `counter` (zero
+/// nonce, the layout documented in the crate docs). The single source of
+/// truth for the block function — the sequential [`ChaCha8Rng`] and the
+/// wide kernel both produce exactly these words.
+pub fn chacha8_block(key: &[u32; 8], counter: u64) -> [u32; 16] {
+    let mut state: [u32; 16] = [
+        SIGMA[0],
+        SIGMA[1],
+        SIGMA[2],
+        SIGMA[3],
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let input = state;
+    for _ in 0..CHACHA8_DOUBLE_ROUNDS {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (word, inp) in state.iter_mut().zip(input) {
+        *word = word.wrapping_add(inp);
+    }
+    state
+}
+
+/// The SplitMix64 expansion of a `u64` seed into ChaCha key words —
+/// exactly the words [`SeedableRng::seed_from_u64`] produces (each key
+/// word is the low half of one SplitMix64 output), exposed so callers
+/// that cache per-entity keys can derive them without routing through
+/// a byte-array seed.
+pub fn key_words_from_u64(mut state: u64) -> [u32; 8] {
+    let mut key = [0u32; 8];
+    for word in key.iter_mut() {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        *word = z as u32;
+    }
+    key
+}
+
+// --- wide (multi-lane) block kernel -------------------------------------
+//
+// Counter-mode streams batch perfectly: W independent (key, counter)
+// pairs run the identical data-independent schedule, so transposing the
+// state into structure-of-arrays form — `state[i][lane]` — turns every
+// quarter-round op into W-wide element-wise adds/xors/rotates that the
+// compiler auto-vectorizes (AVX2 on x86-64 via the runtime-dispatched
+// 8-lane path below, 128-bit SSE2/NEON for the 4-lane path). Lane `l` of
+// a wide call produces bit-exactly `chacha8_block(keys[l], counters[l])`
+// at every width — pinned by `tests/wide_chacha.rs` — so callers may
+// batch draws in any grouping without changing a single output word.
+
+/// Widest batch the wide kernel handles in one SoA pass (the AVX-512
+/// path; scratch arrays in callers can be sized to this).
+pub const MAX_WIDE_LANES: usize = 16;
+
+/// Every lane width the wide kernel can be forced to run at (see
+/// [`chacha8_blocks_at_width`]); `wide_lanes()` picks one of these.
+pub const WIDE_LANE_WIDTHS: [usize; 5] = [1, 2, 4, 8, 16];
+
+// Index-form loops throughout the kernel: each `for l in 0..W` over a
+// fixed row is one W-wide vector op, and keeping every loop in the same
+// shape is what the auto-vectorizer reliably turns into packed
+// adds/xors/rolls (iterator chains over `[[u32; W]; 16]` rows obscure
+// the unit-stride access pattern from the cost model).
+#[allow(clippy::needless_range_loop)]
+#[inline(always)]
+fn soa_quarter_round<const W: usize>(
+    state: &mut [[u32; W]; 16],
+    a: usize,
+    b: usize,
+    c: usize,
+    d: usize,
+) {
+    for l in 0..W {
+        state[a][l] = state[a][l].wrapping_add(state[b][l]);
+    }
+    for l in 0..W {
+        state[d][l] = (state[d][l] ^ state[a][l]).rotate_left(16);
+    }
+    for l in 0..W {
+        state[c][l] = state[c][l].wrapping_add(state[d][l]);
+    }
+    for l in 0..W {
+        state[b][l] = (state[b][l] ^ state[c][l]).rotate_left(12);
+    }
+    for l in 0..W {
+        state[a][l] = state[a][l].wrapping_add(state[b][l]);
+    }
+    for l in 0..W {
+        state[d][l] = (state[d][l] ^ state[a][l]).rotate_left(8);
+    }
+    for l in 0..W {
+        state[c][l] = state[c][l].wrapping_add(state[d][l]);
+    }
+    for l in 0..W {
+        state[b][l] = (state[b][l] ^ state[c][l]).rotate_left(7);
+    }
+}
+
+/// `W` blocks in one SoA pass; all slices must have length `W`.
+#[allow(clippy::needless_range_loop)] // see `soa_quarter_round`
+#[inline(always)]
+fn blocks_soa<const W: usize>(keys: &[[u32; 8]], counters: &[u64], out: &mut [[u32; 16]]) {
+    assert!(keys.len() == W && counters.len() == W && out.len() == W);
+    let mut state = [[0u32; W]; 16];
+    for (i, s) in SIGMA.iter().enumerate() {
+        state[i] = [*s; W];
+    }
+    for i in 0..8 {
+        for l in 0..W {
+            state[4 + i][l] = keys[l][i];
+        }
+    }
+    for l in 0..W {
+        state[12][l] = counters[l] as u32;
+        state[13][l] = (counters[l] >> 32) as u32;
+    }
+    // The feed-forward add only needs the *initial* key and counter rows;
+    // rows 0–3 are compile-time constants and rows 14–15 are zero. Saving
+    // just rows 4–13 (instead of `let input = state`) keeps the round
+    // loop's live set at 16 vectors + temps, which is what lets the
+    // 16-lane path stay inside the 32-register ZMM file without spills.
+    let mut input_mid = [[0u32; W]; 10];
+    input_mid.copy_from_slice(&state[4..14]);
+    for _ in 0..CHACHA8_DOUBLE_ROUNDS {
+        soa_quarter_round(&mut state, 0, 4, 8, 12);
+        soa_quarter_round(&mut state, 1, 5, 9, 13);
+        soa_quarter_round(&mut state, 2, 6, 10, 14);
+        soa_quarter_round(&mut state, 3, 7, 11, 15);
+        soa_quarter_round(&mut state, 0, 5, 10, 15);
+        soa_quarter_round(&mut state, 1, 6, 11, 12);
+        soa_quarter_round(&mut state, 2, 7, 8, 13);
+        soa_quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    // Feed-forward row-wise (W-wide vector adds), then transpose out; a
+    // fused `out[l][i] = state[i][l] + input[i][l]` reads column-wise and
+    // defeats vectorization of the adds.
+    for i in 0..4 {
+        for l in 0..W {
+            state[i][l] = state[i][l].wrapping_add(SIGMA[i]);
+        }
+    }
+    for i in 0..10 {
+        for l in 0..W {
+            state[4 + i][l] = state[4 + i][l].wrapping_add(input_mid[i][l]);
+        }
+    }
+    // Rows 14–15 (nonce) were zero in the input: nothing to add.
+    for l in 0..W {
+        for i in 0..16 {
+            out[l][i] = state[i][l];
+        }
+    }
+}
+
+/// The 8-lane pass compiled with AVX2 codegen (256-bit = exactly eight
+/// u32 lanes per register; the 16-row state fits the 16-register YMM
+/// file). Safety: caller must have verified `avx2` is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn blocks_soa_8_avx2(keys: &[[u32; 8]], counters: &[u64], out: &mut [[u32; 16]]) {
+    blocks_soa::<8>(keys, counters, out);
+}
+
+/// The 8-lane pass compiled with AVX-512VL codegen: still 256-bit
+/// vectors (8 × u32), but the quarter-round rotates become single
+/// `vprold` instructions instead of shift/shift/or triples — ChaCha is
+/// one-third rotates, so this is the cheapest big win on hosts that
+/// have it. Safety: caller must have verified `avx512f` + `avx512vl`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl")]
+fn blocks_soa_8_avx512(keys: &[[u32; 8]], counters: &[u64], out: &mut [[u32; 16]]) {
+    blocks_soa::<8>(keys, counters, out);
+}
+
+/// The 16-lane pass compiled with AVX-512F codegen: one full ZMM
+/// register per state row (16 × u32), single-instruction `vprold`
+/// rotates, and the 16-row working state plus the input copy fit the
+/// 32-register ZMM file without spilling. Safety: caller must have
+/// verified `avx512f`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+fn blocks_soa_16_avx512(keys: &[[u32; 8]], counters: &[u64], out: &mut [[u32; 16]]) {
+    blocks_soa::<16>(keys, counters, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+fn has_avx512_rotates() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512vl")
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_wide_lanes() -> usize {
+    if std::arch::is_x86_feature_detected!("avx512f") {
+        16
+    } else if std::arch::is_x86_feature_detected!("avx2") {
+        8
+    } else {
+        4
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_wide_lanes() -> usize {
+    // 128-bit SIMD (NEON / portable) — four u32 lanes.
+    4
+}
+
+/// The lane width the runtime dispatch selects on this host (8 with
+/// AVX2, 4 otherwise). Outputs are identical at every width; this only
+/// governs how many blocks one SoA pass computes.
+pub fn wide_lanes() -> usize {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static LANES: AtomicUsize = AtomicUsize::new(0);
+    match LANES.load(Ordering::Relaxed) {
+        0 => {
+            let w = detect_wide_lanes();
+            LANES.store(w, Ordering::Relaxed);
+            w
+        }
+        w => w,
+    }
+}
+
+/// One exact-width batch (`keys.len()` ∈ [`WIDE_LANE_WIDTHS`]), routed
+/// through the feature-specific codegen where one exists.
+fn blocks_exact(keys: &[[u32; 8]], counters: &[u64], out: &mut [[u32; 16]]) {
+    match keys.len() {
+        16 => {
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                // Safety: feature presence just checked.
+                return unsafe { blocks_soa_16_avx512(keys, counters, out) };
+            }
+            blocks_soa::<16>(keys, counters, out)
+        }
+        8 => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                // Safety: feature presence checked right before each call.
+                if has_avx512_rotates() {
+                    return unsafe { blocks_soa_8_avx512(keys, counters, out) };
+                }
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    return unsafe { blocks_soa_8_avx2(keys, counters, out) };
+                }
+            }
+            blocks_soa::<8>(keys, counters, out)
+        }
+        4 => blocks_soa::<4>(keys, counters, out),
+        2 => blocks_soa::<2>(keys, counters, out),
+        1 => out[0] = chacha8_block(&keys[0], counters[0]),
+        w => unreachable!("unsupported lane width {w}"),
+    }
+}
+
+/// Generate `out.len()` ChaCha8 blocks — `out[l] = chacha8_block(keys[l],
+/// counters[l])` — in runtime-dispatched wide batches. Any length is
+/// accepted: full [`wide_lanes`]-wide groups run the SIMD path, the tail
+/// cascades down the supported widths.
+pub fn chacha8_blocks(keys: &[[u32; 8]], counters: &[u64], out: &mut [[u32; 16]]) {
+    chacha8_blocks_at_width(wide_lanes(), keys, counters, out)
+}
+
+/// [`chacha8_blocks`] with the lane width forced (test hook for pinning
+/// every width against the scalar stream; `width` must be one of
+/// [`WIDE_LANE_WIDTHS`]).
+pub fn chacha8_blocks_at_width(
+    width: usize,
+    keys: &[[u32; 8]],
+    counters: &[u64],
+    out: &mut [[u32; 16]],
+) {
+    assert!(
+        WIDE_LANE_WIDTHS.contains(&width),
+        "unsupported lane width {width}"
+    );
+    assert!(
+        keys.len() == counters.len() && keys.len() == out.len(),
+        "lane slice lengths differ"
+    );
+    let mut done = 0;
+    while keys.len() - done >= width {
+        blocks_exact(
+            &keys[done..done + width],
+            &counters[done..done + width],
+            &mut out[done..done + width],
+        );
+        done += width;
+    }
+    // Tail: cascade down through the narrower widths.
+    let mut w = width / 2;
+    while w > 0 {
+        if keys.len() - done >= w {
+            blocks_exact(
+                &keys[done..done + w],
+                &counters[done..done + w],
+                &mut out[done..done + w],
+            );
+            done += w;
+        }
+        w /= 2;
+    }
+    debug_assert_eq!(done, keys.len());
+}
+
+/// Refill every *pending* stream in `rngs` — one whose buffer is
+/// exhausted, e.g. freshly positioned by
+/// [`set_block_pos`](ChaCha8Rng::set_block_pos) — through the wide
+/// kernel, leaving streams with unread buffered words untouched. After
+/// the call each refilled stream is bit-exactly where a sequential draw
+/// would have put it: buffer loaded, counter advanced past the block.
+///
+/// This is the batched form of the lazy refill the sequential API does
+/// one stream at a time; position W streams, `refill_wide` them, and the
+/// per-stream draws cost no block computation at all.
+pub fn refill_wide(rngs: &mut [ChaCha8Rng]) {
+    let width = wide_lanes();
+    let mut pending = [0usize; MAX_WIDE_LANES];
+    let mut keys = [[0u32; 8]; MAX_WIDE_LANES];
+    let mut counters = [0u64; MAX_WIDE_LANES];
+    let mut blocks = [[0u32; 16]; MAX_WIDE_LANES];
+    let mut k = 0;
+    let flush = |rngs: &mut [ChaCha8Rng],
+                 pending: &[usize],
+                 keys: &mut [[u32; 8]],
+                 counters: &mut [u64],
+                 blocks: &mut [[u32; 16]]| {
+        let k = pending.len();
+        for (l, &i) in pending.iter().enumerate() {
+            keys[l] = rngs[i].key;
+            counters[l] = rngs[i].counter;
+        }
+        chacha8_blocks(&keys[..k], &counters[..k], &mut blocks[..k]);
+        for (l, &i) in pending.iter().enumerate() {
+            rngs[i].buf = blocks[l];
+            rngs[i].index = 0;
+            rngs[i].counter = rngs[i].counter.wrapping_add(1);
+        }
+    };
+    for i in 0..rngs.len() {
+        if rngs[i].index == 16 {
+            pending[k] = i;
+            k += 1;
+            if k == width {
+                flush(rngs, &pending[..k], &mut keys, &mut counters, &mut blocks);
+                k = 0;
+            }
+        }
+    }
+    if k > 0 {
+        flush(rngs, &pending[..k], &mut keys, &mut counters, &mut blocks);
+    }
+}
+
 /// The ChaCha8 random number generator.
 ///
 /// Construct via [`SeedableRng::from_seed`] (32-byte key) or
@@ -58,41 +433,51 @@ pub struct ChaCha8Rng {
 
 impl ChaCha8Rng {
     fn refill(&mut self) {
-        let mut state: [u32; 16] = [
-            SIGMA[0],
-            SIGMA[1],
-            SIGMA[2],
-            SIGMA[3],
-            self.key[0],
-            self.key[1],
-            self.key[2],
-            self.key[3],
-            self.key[4],
-            self.key[5],
-            self.key[6],
-            self.key[7],
-            self.counter as u32,
-            (self.counter >> 32) as u32,
-            0,
-            0,
-        ];
-        let input = state;
-        for _ in 0..CHACHA8_DOUBLE_ROUNDS {
-            quarter_round(&mut state, 0, 4, 8, 12);
-            quarter_round(&mut state, 1, 5, 9, 13);
-            quarter_round(&mut state, 2, 6, 10, 14);
-            quarter_round(&mut state, 3, 7, 11, 15);
-            quarter_round(&mut state, 0, 5, 10, 15);
-            quarter_round(&mut state, 1, 6, 11, 12);
-            quarter_round(&mut state, 2, 7, 8, 13);
-            quarter_round(&mut state, 3, 4, 9, 14);
-        }
-        for (word, inp) in state.iter_mut().zip(input) {
-            *word = word.wrapping_add(inp);
-        }
-        self.buf = state;
+        self.buf = chacha8_block(&self.key, self.counter);
         self.index = 0;
         self.counter = self.counter.wrapping_add(1);
+    }
+
+    /// The stream's key words (the 32-byte key, little-endian words) —
+    /// the cacheable identity of the stream: a stream rebuilt via
+    /// [`from_key_words`](Self::from_key_words) +
+    /// [`set_block_pos`](Self::set_block_pos) is indistinguishable from
+    /// this one repositioned there.
+    pub fn key_words(&self) -> [u32; 8] {
+        self.key
+    }
+
+    /// A stream from pre-expanded key words, positioned at block 0 with
+    /// nothing generated yet — the cached-key counterpart of
+    /// [`SeedableRng::from_seed`] (same cost: a key copy, block
+    /// generation stays lazy).
+    pub fn from_key_words(key: [u32; 8]) -> Self {
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            index: 16,
+        }
+    }
+
+    /// A stream whose current buffer is `block`'s already-computed words
+    /// (`buf == chacha8_block(&key, block)`, e.g. one lane of a
+    /// [`chacha8_blocks`] batch), with nothing read yet. Bit-exactly the
+    /// state [`from_key_words`](Self::from_key_words) +
+    /// [`set_block_pos`](Self::set_block_pos)`(block)` reaches after its
+    /// first lazy refill — the next draw reads word 0 of `block`, and
+    /// draws past word 15 continue into block `block + 1` — but without
+    /// recomputing the block. The batched callers' way of turning wide
+    /// kernel output into positioned streams with zero scalar ChaCha
+    /// work.
+    #[inline]
+    pub fn from_generated_block(key: [u32; 8], block: u64, buf: [u32; 16]) -> Self {
+        ChaCha8Rng {
+            key,
+            counter: block.wrapping_add(1),
+            buf,
+            index: 0,
+        }
     }
 
     /// Number of 32-bit words drawn so far (diagnostics / tests).
@@ -291,6 +676,97 @@ mod tests {
         }
         // And a fresh stream is at block 0.
         assert_eq!(ChaCha8Rng::seed_from_u64(77).block_pos(), 0);
+    }
+
+    #[test]
+    fn key_words_from_u64_matches_seed_from_u64() {
+        for seed in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
+            let mut a = ChaCha8Rng::seed_from_u64(seed);
+            let mut b = ChaCha8Rng::from_key_words(key_words_from_u64(seed));
+            assert_eq!(a.key_words(), b.key_words(), "seed {seed:#x}");
+            for _ in 0..40 {
+                assert_eq!(a.next_u32(), b.next_u32(), "seed {seed:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn chacha8_block_matches_stream() {
+        let key = key_words_from_u64(99);
+        for block in [0u64, 1, 5, 1 << 40, u64::MAX] {
+            let mut rng = ChaCha8Rng::from_key_words(key);
+            rng.set_block_pos(block);
+            let words = chacha8_block(&key, block);
+            for (w, &e) in words.iter().enumerate() {
+                assert_eq!(rng.next_u32(), e, "block {block} word {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_blocks_match_scalar_at_every_width() {
+        // 37 lanes: exercises full groups + the cascading tail at every
+        // supported width (two full 16-wide groups plus a 5-lane tail),
+        // with a counter at the wrap boundary mixed in.
+        let keys: Vec<[u32; 8]> = (0..37).map(key_words_from_u64).collect();
+        let counters: Vec<u64> = (0..37u64)
+            .map(|i| i.wrapping_mul(0x1234_5678_9ABC))
+            .collect();
+        let mut counters = counters;
+        counters[7] = u64::MAX;
+        let expect: Vec<[u32; 16]> = keys
+            .iter()
+            .zip(&counters)
+            .map(|(k, &c)| chacha8_block(k, c))
+            .collect();
+        for width in WIDE_LANE_WIDTHS {
+            let mut out = vec![[0u32; 16]; keys.len()];
+            chacha8_blocks_at_width(width, &keys, &counters, &mut out);
+            assert_eq!(out, expect, "width {width}");
+        }
+        let mut out = vec![[0u32; 16]; keys.len()];
+        chacha8_blocks(&keys, &counters, &mut out);
+        assert_eq!(out, expect, "dispatched width {}", wide_lanes());
+    }
+
+    #[test]
+    fn refill_wide_matches_sequential_refills() {
+        // A mixed slice: pending streams (freshly positioned), streams
+        // mid-buffer, and a stream exactly at a block boundary by
+        // consumption. Only the pending ones may change.
+        let make = |seed: u64, pos: u64, drawn: usize| {
+            let mut r = ChaCha8Rng::seed_from_u64(seed);
+            r.set_block_pos(pos);
+            for _ in 0..drawn {
+                r.next_u32();
+            }
+            r
+        };
+        let mut wide: Vec<ChaCha8Rng> = vec![
+            make(1, 3, 0),        // pending
+            make(2, 0, 5),        // mid-buffer: untouched
+            make(3, 9, 16),       // consumed to the boundary: pending again
+            make(4, 0, 0),        // pending at block 0
+            make(5, 7, 1),        // barely started: untouched
+            make(6, u64::MAX, 0), // counter wrap edge
+        ];
+        let mut seq = wide.clone();
+        let before_untouched = [wide[1].clone(), wide[4].clone()];
+        refill_wide(&mut wide);
+        assert_eq!(wide[1], before_untouched[0]);
+        assert_eq!(wide[4], before_untouched[1]);
+        for (w, s) in wide.iter_mut().zip(seq.iter_mut()) {
+            for i in 0..48 {
+                assert_eq!(w.next_u32(), s.next_u32(), "word {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_lanes_is_supported_and_stable() {
+        let w = wide_lanes();
+        assert!(WIDE_LANE_WIDTHS.contains(&w));
+        assert_eq!(w, wide_lanes());
     }
 
     #[test]

@@ -49,7 +49,8 @@ fn implicit_grid_rows_match_csr_generator_and_materialization() {
     // double-visit bug's home), and the torus bound cells == 1 cap.
     for (n, r) in [(512, 0.05), (256, 0.4), (128, 0.5)] {
         let seed = split_seed(2024, b"grid-eq", n as u64);
-        let (g, pos) = adhoc_radio::graph::generate::random_geometric(n, r, &mut derive_rng(seed, b"geo", 0));
+        let (g, pos) =
+            adhoc_radio::graph::generate::random_geometric(n, r, &mut derive_rng(seed, b"geo", 0));
         let t = ImplicitGrid::generate(n, r, &mut derive_rng(seed, b"geo", 0));
         assert_eq!(t.positions(), &pos[..], "positions must replay identically");
         assert_rows_match(&t, &g, "grid vs random_geometric");
