@@ -30,7 +30,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use radio_energy::{EnergySession, LinearRadio, TxOnly};
 use radio_graph::generate::gnp_directed;
 use radio_graph::{DiGraph, NodeId};
-use radio_sim::engine::{run_protocol, run_protocol_energy, run_protocol_fused, run_protocol_par};
+use radio_sim::engine::{
+    run_protocol, run_protocol_energy, run_protocol_fused, run_protocol_fused_traced,
+    run_protocol_par,
+};
+use radio_sim::trace::{RecordingSink, RunHeader};
 use radio_sim::{run_adjlist, Action, AdjListGraph, Engine, EngineConfig, FusedDecide, Protocol};
 use radio_util::derive_rng;
 use rand_chacha::ChaCha8Rng;
@@ -272,6 +276,44 @@ fn bench_engine_fused(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_trace(c: &mut Criterion) {
+    // The trace hook's cost contract, both halves. `off` is the fused
+    // coin storm on an edgeless graph with the `NullSink` — the default
+    // every untraced entry point compiles down to, so any daylight
+    // between this entry and `decide_phase/v2_cold` would mean the hook
+    // isn't actually free. `on` records the same run through a
+    // `RecordingSink` into a reused in-memory buffer (no disk in the
+    // loop): per-round varint encoding of RoundStart/Transmit/RoundEnd
+    // events on top of the identical simulation. The workload is
+    // decide-dominated on purpose — events are sparse relative to RNG
+    // draws, as in a real traced run — and the acceptance bar is
+    // `on ≤ 1.05 × off` (gated by `bench_compare`'s trace-overhead
+    // check).
+    let mut group = c.benchmark_group("engine_trace");
+    group.sample_size(10);
+    let g = DiGraph::from_edges(N, &[]);
+    group.throughput(Throughput::Elements(N as u64 * ROUNDS));
+    group.bench_with_input(BenchmarkId::new("off", N), &g, |b, g| {
+        b.iter(|| {
+            let mut p = CoinStorm::new(N, 0.05);
+            black_box(run_protocol_fused(g, &mut p, cfg(), 4))
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("on", N), &g, |b, g| {
+        let header = RunHeader::new(4, "v2", "edgeless");
+        let mut bytes: Vec<u8> = Vec::with_capacity(1 << 20);
+        b.iter(|| {
+            bytes.clear();
+            let mut sink = RecordingSink::new(&mut bytes, &header).expect("vec write");
+            let mut p = CoinStorm::new(N, 0.05);
+            let run = run_protocol_fused_traced(g, &mut p, cfg(), 4, &mut sink);
+            sink.finish(run.completed).expect("vec write");
+            black_box(run)
+        });
+    });
+    group.finish();
+}
+
 fn bench_engine_energy(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_energy");
     group.sample_size(10);
@@ -363,6 +405,7 @@ criterion_group!(
     bench_engine_par,
     bench_decide_phase,
     bench_engine_fused,
+    bench_engine_trace,
     bench_engine_energy,
     bench_topology_neighbors
 );

@@ -144,6 +144,70 @@ pub fn passes(findings: &[Finding]) -> bool {
         .any(|f| matches!(f.verdict, Verdict::Regressed | Verdict::Vanished))
 }
 
+/// One baseline candidate: either the file's top level or one entry of
+/// its optional `"profiles"` array. Multi-profile baselines exist
+/// because thread-scaling benches (`<k>t` ids) measure *different
+/// things* on different hosts — speedup on a multi-core box, partition
+/// overhead on a single core — so each host class gets its own numbers
+/// instead of the cross-core `NotGated` hole.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineProfile {
+    /// `host_threads` the profile was recorded on (`None`: unrecorded).
+    pub host_threads: Option<u64>,
+    /// A provisional profile's numbers are expectations, not
+    /// measurements from a blessed runner: `Regressed`/`Vanished`
+    /// findings against it warn instead of failing, until someone
+    /// refreshes the profile on real matching hardware (which clears
+    /// the flag).
+    pub provisional: bool,
+    pub entries: Vec<Entry>,
+}
+
+/// Pick the baseline to gate against: the profile whose `host_threads`
+/// equals the current run's, else the file's top level. A `None`
+/// current (unrecorded host) never matches a profile — falling back to
+/// the top level keeps old files working unchanged.
+pub fn select_profile(
+    top: BaselineProfile,
+    profiles: Vec<BaselineProfile>,
+    current_threads: Option<u64>,
+) -> BaselineProfile {
+    if current_threads.is_some() {
+        if let Some(p) = profiles
+            .into_iter()
+            .find(|p| p.host_threads == current_threads)
+        {
+            return p;
+        }
+    }
+    top
+}
+
+/// The trace hook's overhead gate: `engine_trace/on` must stay within
+/// `max_ratio` × `engine_trace/off` **within the current run**. This is
+/// a relative gate, not a baseline diff — the two entries share every
+/// noise source (host, load, frequency scaling), so their ratio is
+/// meaningful even when absolute numbers drift. Returns the measured
+/// `(on_s, off_s, ratio)` when both entries are present, `None`
+/// otherwise (a run filtered with `--only` that drops the group simply
+/// skips the check).
+pub fn trace_overhead(current: &[Entry], group: &str) -> Option<(f64, f64, f64)> {
+    let find = |id: &str| {
+        current
+            .iter()
+            .find(|e| {
+                e.key
+                    .strip_prefix(group)
+                    .and_then(|rest| rest.strip_prefix('/'))
+                    .is_some_and(|rest| rest.split('/').next() == Some(id))
+            })
+            .map(|e| e.mean_s)
+    };
+    let on = find("on")?;
+    let off = find("off")?;
+    Some((on, off, on / off))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,5 +305,64 @@ mod tests {
         assert_eq!(id_threads("engine_fused/1t/10000"), Some(1));
         assert_eq!(id_threads("engine_csr/gnp/10000"), None);
         assert_eq!(id_threads("decide_phase/v2_warm/10000"), None);
+    }
+
+    fn profile(threads: Option<u64>, provisional: bool, key: &str) -> BaselineProfile {
+        BaselineProfile {
+            host_threads: threads,
+            provisional,
+            entries: vec![e(key, 1.0)],
+        }
+    }
+
+    #[test]
+    fn select_profile_matches_on_host_threads() {
+        let top = profile(Some(1), false, "top");
+        let profiles = vec![
+            profile(Some(8), true, "eight"),
+            profile(Some(4), true, "four"),
+        ];
+        let picked = select_profile(top, profiles, Some(8));
+        assert_eq!(picked.entries[0].key, "eight");
+        assert!(picked.provisional);
+    }
+
+    #[test]
+    fn select_profile_falls_back_to_top_level() {
+        let top = profile(Some(1), false, "top");
+        let profiles = vec![profile(Some(8), true, "eight")];
+        // No matching core count → top level (including for the current
+        // host the top level was recorded on).
+        let picked = select_profile(top.clone(), profiles.clone(), Some(2));
+        assert_eq!(picked.entries[0].key, "top");
+        assert!(!picked.provisional);
+        // An unrecorded current host never matches a profile.
+        let picked = select_profile(top, profiles, None);
+        assert_eq!(picked.entries[0].key, "top");
+    }
+
+    #[test]
+    fn trace_overhead_reads_the_current_run_pair() {
+        let cur = vec![
+            e("engine_trace/off/10000", 0.010),
+            e("engine_trace/on/10000", 0.0104),
+            e("engine_csr/gnp/10000", 1.0),
+        ];
+        let (on, off, ratio) = trace_overhead(&cur, "engine_trace").expect("both present");
+        assert_eq!(on, 0.0104);
+        assert_eq!(off, 0.010);
+        assert!((ratio - 1.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_overhead_requires_both_entries() {
+        let cur = vec![e("engine_trace/off/10000", 0.010)];
+        assert!(trace_overhead(&cur, "engine_trace").is_none());
+        // `off` must not match a key whose id merely starts with "on".
+        let cur = vec![
+            e("engine_trace/only/10000", 0.010),
+            e("engine_trace/off/10000", 0.010),
+        ];
+        assert!(trace_overhead(&cur, "engine_trace").is_none());
     }
 }

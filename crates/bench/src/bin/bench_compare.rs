@@ -28,30 +28,41 @@
 //! baseline made `8t` look 7.5× "slower" purely because the baseline
 //! runner had one core). On a mismatch they are printed with a warning
 //! and excluded from the verdict; single-thread entries always gate.
+//!
+//! **Multi-profile baselines** close that hole from the other side: the
+//! baseline file may carry a `"profiles": [...]` array, each entry a
+//! full `{host_threads, benches, provisional?}` baseline recorded on
+//! (or projected for) one host class. The profile matching the current
+//! run's `host_threads` is gated against; no match falls back to the
+//! top level. A profile marked `"provisional": true` holds expectations
+//! rather than blessed measurements — failures against it *warn* until
+//! the profile is refreshed on matching hardware.
+//!
+//! **Trace overhead** is gated within the current run alone: when both
+//! `engine_trace/on` and `engine_trace/off` are present, `on` must stay
+//! within 1.05× `off` — the recording hook's ≤5% cost contract. The
+//! ratio shares every noise source, so it gates on any host.
 
-use radio_bench::bench_diff::{diff, passes, DiffConfig, Entry, Verdict};
+use radio_bench::bench_diff::{
+    diff, passes, select_profile, trace_overhead, BaselineProfile, DiffConfig, Entry, Verdict,
+};
 use radio_util::Json;
 use std::process::ExitCode;
 
 struct BenchFile {
-    entries: Vec<Entry>,
-    /// Machine parallelism recorded by the criterion shim; `None` for
-    /// files predating the field.
-    host_threads: Option<u64>,
+    /// The file's top level, as a profile (never provisional).
+    top: BaselineProfile,
+    /// Optional `"profiles"` array: per-host-class baselines (see
+    /// [`BaselineProfile`]); selected by matching `host_threads`.
+    profiles: Vec<BaselineProfile>,
 }
 
-fn load(path: &str) -> Result<BenchFile, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let json = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-    let host_threads = json
-        .get("host_threads")
-        .and_then(Json::as_f64)
-        .map(|x| x as u64);
+fn parse_entries(path: &str, json: &Json) -> Result<Vec<Entry>, String> {
     let benches = json
         .get("benches")
         .and_then(Json::as_arr)
         .ok_or_else(|| format!("{path}: missing \"benches\" array"))?;
-    let entries = benches
+    benches
         .iter()
         .map(|b| {
             let group = b
@@ -71,11 +82,40 @@ fn load(path: &str) -> Result<BenchFile, String> {
                 mean_s,
             })
         })
-        .collect::<Result<Vec<Entry>, String>>()?;
-    Ok(BenchFile {
-        entries,
-        host_threads,
-    })
+        .collect()
+}
+
+fn host_threads_of(json: &Json) -> Option<u64> {
+    json.get("host_threads")
+        .and_then(Json::as_f64)
+        .map(|x| x as u64)
+}
+
+fn load(path: &str) -> Result<BenchFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let top = BaselineProfile {
+        host_threads: host_threads_of(&json),
+        provisional: false,
+        entries: parse_entries(path, &json)?,
+    };
+    let profiles = match json.get("profiles").and_then(Json::as_arr) {
+        None => Vec::new(),
+        Some(arr) => arr
+            .iter()
+            .map(|p| {
+                Ok(BaselineProfile {
+                    host_threads: host_threads_of(p),
+                    provisional: p
+                        .get("provisional")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
+                    entries: parse_entries(path, p)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    };
+    Ok(BenchFile { top, profiles })
 }
 
 fn fmt_ms(secs: Option<f64>) -> String {
@@ -120,10 +160,30 @@ fn main() -> ExitCode {
         (Ok(b), Ok(c)) => (b, c),
         (Err(e), _) | (_, Err(e)) => return die(&e),
     };
+    let current_threads = current.top.host_threads;
+
+    // A multi-profile baseline carries per-host-class numbers; gate
+    // against the profile recorded on hardware like ours, else the top
+    // level.
+    let had_profiles = !baseline.profiles.is_empty();
+    let baseline = select_profile(baseline.top, baseline.profiles, current_threads);
+    if had_profiles {
+        println!(
+            "baseline profile: host_threads {} ({})",
+            baseline
+                .host_threads
+                .map_or_else(|| "unrecorded".into(), |t| t.to_string()),
+            if baseline.provisional {
+                "PROVISIONAL — failures warn until refreshed on matching hardware"
+            } else {
+                "measured"
+            },
+        );
+    }
 
     // Thread-scaling entries are only comparable between equal-core
     // hosts (see module docs).
-    let cores_match = match (baseline.host_threads, current.host_threads) {
+    let cores_match = match (baseline.host_threads, current_threads) {
         (Some(b), Some(c)) => b == c,
         _ => false,
     };
@@ -135,9 +195,7 @@ fn main() -> ExitCode {
             baseline
                 .host_threads
                 .map_or_else(|| "unrecorded".into(), |t| t.to_string()),
-            current
-                .host_threads
-                .map_or_else(|| "unrecorded".into(), |t| t.to_string()),
+            current_threads.map_or_else(|| "unrecorded".into(), |t| t.to_string()),
         );
     }
 
@@ -146,7 +204,7 @@ fn main() -> ExitCode {
             .is_none_or(|prefix| e.key.starts_with(prefix))
     };
     let baseline_kept: Vec<Entry> = baseline.entries.into_iter().filter(keep).collect();
-    let current_kept: Vec<Entry> = current.entries.into_iter().filter(keep).collect();
+    let current_kept: Vec<Entry> = current.top.entries.into_iter().filter(keep).collect();
     let cfg = DiffConfig {
         max_regress,
         warn_improve: max_regress,
@@ -206,11 +264,42 @@ fn main() -> ExitCode {
     if compared == 0 {
         return die("no comparable benches between the two files");
     }
-    if !passes(&findings) {
+
+    // The trace hook's within-run cost contract: `engine_trace/on` vs
+    // `engine_trace/off` in the *current* file. Relative, so it holds
+    // on any host; skipped when `--only` filters the group out.
+    const MAX_TRACE_OVERHEAD: f64 = 0.05;
+    let mut trace_failed = false;
+    if let Some((on, off, ratio)) = trace_overhead(&current_kept, "engine_trace") {
+        let ok = ratio <= 1.0 + MAX_TRACE_OVERHEAD;
+        println!(
+            "trace overhead: on {} / off {} = {ratio:.3}x (budget {:.2}x) — {}",
+            fmt_ms(Some(on)),
+            fmt_ms(Some(off)),
+            1.0 + MAX_TRACE_OVERHEAD,
+            if ok { "ok" } else { "OVER BUDGET" },
+        );
+        trace_failed = !ok;
+    }
+
+    if !passes(&findings) || trace_failed {
+        if baseline.provisional && !trace_failed {
+            eprintln!(
+                "warning: {failures} bench(es) outside the provisional profile's \
+                 budget — not fatal; refresh this profile on matching hardware \
+                 to arm the gate"
+            );
+            return ExitCode::SUCCESS;
+        }
         eprintln!(
-            "error: {failures} bench(es) failed the gate (regressed more than \
-             {:.0}% or vanished from the current run)",
-            max_regress * 100.0
+            "error: gate failed ({failures} bench(es) regressed more than \
+             {:.0}% or vanished{})",
+            max_regress * 100.0,
+            if trace_failed {
+                "; engine_trace/on exceeded its overhead budget"
+            } else {
+                ""
+            }
         );
         return ExitCode::FAILURE;
     }

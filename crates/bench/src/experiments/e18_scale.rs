@@ -36,20 +36,24 @@
 //! `ADHOC_RADIO_E18_MIN_EXP` / `ADHOC_RADIO_E18_MAX_EXP` bound the
 //! `log₂ n` range (defaults 18 / 20; the smoke test runs 9 / 10),
 //! `ADHOC_RADIO_E18_THREADS` overrides the per-run worker count
-//! (default: machine parallelism, capped at 8), and
+//! (default: machine parallelism, capped at 8),
 //! `ADHOC_RADIO_E18_IMPLICIT` / `ADHOC_RADIO_E18_IMPLICIT_{MIN,MAX}_EXP`
 //! gate and bound the implicit section (defaults on, 20 / 21; raise to
-//! 24–26 for the past-the-wall columns).
+//! 24–26 for the past-the-wall columns), and `ADHOC_RADIO_TRACE=dir`
+//! records a per-round `.rtrc` trace of the first trial of every CSR
+//! cell into `dir` (a [`radio_sim::TracePlan`] with cap 1 — capture
+//! only observes, so the sweep JSON is byte-identical either way).
 
 use crate::common::cell_extra;
 use crate::{Ctx, Report};
 use radio_core::broadcast::decay::DecayConfig;
 use radio_core::broadcast::ee_random::{EeBroadcastConfig, EeRandomBroadcast};
 use radio_core::broadcast::flood::FloodConfig;
-use radio_core::broadcast::windowed::run_windowed_fused;
+use radio_core::broadcast::windowed::run_windowed_fused_traced;
 use radio_graph::{DiGraph, GraphFamily, ImplicitGnp, ImplicitGrid, Topology};
-use radio_sim::engine::run_protocol_fused;
-use radio_sim::{EngineConfig, Protocol, Sweep, SweepCell, TrialResult};
+use radio_sim::engine::run_protocol_fused_traced;
+use radio_sim::trace::{NullSink, TraceSink};
+use radio_sim::{EngineConfig, Protocol, Sweep, SweepCell, TracePlan, TrialResult};
 use radio_util::{derive_rng, split_seed, Json, TextTable};
 
 /// Degree factor: expected degree is `DEGREE_C · ln n` for both families
@@ -117,23 +121,46 @@ fn trial_body<T: Topology>(
     seed: u64,
     threads: usize,
 ) -> TrialResult {
+    trial_body_traced(alg, graph, p_eq, seed, threads, &mut NullSink)
+}
+
+/// [`trial_body`] with a [`TraceSink`] attached — the sink only
+/// observes (the engine's zero-interference property), so traced and
+/// untraced trials report identical `TrialResult`s and the sweep JSON
+/// stays byte-stable whether or not `ADHOC_RADIO_TRACE` is set.
+fn trial_body_traced<T: Topology, S: TraceSink>(
+    alg: &str,
+    graph: &T,
+    p_eq: f64,
+    seed: u64,
+    threads: usize,
+    sink: &mut S,
+) -> TrialResult {
     let n = Topology::n(graph);
     let cfg = |max_rounds: u64| EngineConfig::with_max_rounds(max_rounds).with_threads(threads);
     let trial = match alg {
         "alg1" => {
             let acfg = EeBroadcastConfig::for_gnp(n, p_eq);
             let mut protocol = EeRandomBroadcast::new(n, 0, acfg);
-            let run = run_protocol_fused(graph, &mut protocol, cfg(acfg.schedule_end() + 2), seed);
+            let run = run_protocol_fused_traced(
+                graph,
+                &mut protocol,
+                cfg(acfg.schedule_end() + 2),
+                seed,
+                sink,
+            );
             let informed = protocol.informed_count();
             TrialResult::from_run(&run, informed == n, informed)
         }
         "flood" => {
             let fcfg = FloodConfig::with_prob(flood_q(n), DecayConfig::new(n, D_HINT).max_rounds());
-            run_windowed_fused(graph, 0, fcfg.spec(), cfg(fcfg.max_rounds), seed).to_trial()
+            run_windowed_fused_traced(graph, 0, fcfg.spec(), cfg(fcfg.max_rounds), seed, sink)
+                .to_trial()
         }
         "decay" => {
             let dcfg = DecayConfig::new(n, D_HINT);
-            run_windowed_fused(graph, 0, dcfg.spec(), cfg(dcfg.max_rounds()), seed).to_trial()
+            run_windowed_fused_traced(graph, 0, dcfg.spec(), cfg(dcfg.max_rounds()), seed, sink)
+                .to_trial()
         }
         other => unreachable!("unknown algorithm {other}"),
     };
@@ -142,15 +169,45 @@ fn trial_body<T: Topology>(
 }
 
 /// The CSR-sweep adapter around [`trial_body`]: derives Algorithm 1's
-/// degree estimate from the materialized edge count.
+/// degree estimate from the materialized edge count. When the sweep has
+/// a [`TracePlan`], the first trial of each cell records its `.rtrc`
+/// through [`trial_body_traced`] instead.
 fn scale_trial(cell: &SweepCell, graph: &DiGraph, seed: u64, threads: usize) -> TrialResult {
     trial_body(&cell.algorithm, graph, p_equiv(cell, graph), seed, threads)
 }
 
+/// The traced twin of [`scale_trial`].
+fn scale_trial_traced<S: TraceSink>(
+    cell: &SweepCell,
+    graph: &DiGraph,
+    seed: u64,
+    threads: usize,
+    sink: &mut S,
+) -> TrialResult {
+    trial_body_traced(
+        &cell.algorithm,
+        graph,
+        p_equiv(cell, graph),
+        seed,
+        threads,
+        sink,
+    )
+}
+
 /// The experiment body at an explicit `log₂ n` range — the smoke test
 /// calls this directly (no env mutation in a multi-threaded test
-/// binary); [`run`] wraps it with the env-derived defaults.
-pub fn run_scaled(ctx: &Ctx, min_exp: u32, max_exp: u32, threads: usize) -> Report {
+/// binary); [`run`] wraps it with the env-derived defaults, including
+/// `trace_dir` from `ADHOC_RADIO_TRACE`. When `trace_dir` is set, the
+/// first trial of every cell records a `.rtrc` trace there (a
+/// [`TracePlan`] with cap 1); tracing never changes the run or the
+/// JSON — the sink only observes.
+pub fn run_scaled(
+    ctx: &Ctx,
+    min_exp: u32,
+    max_exp: u32,
+    threads: usize,
+    trace_dir: Option<&std::path::Path>,
+) -> Report {
     assert!(min_exp <= max_exp);
     assert!(
         max_exp < usize::BITS,
@@ -183,9 +240,21 @@ pub fn run_scaled(ctx: &Ctx, min_exp: u32, max_exp: u32, threads: usize) -> Repo
     // in the markdown only. The runner reads the thread count from the
     // sweep (single source of truth), as `with_threads_per_run`
     // prescribes.
+    let plan = trace_dir.map(|dir| TracePlan::new(dir, 1));
     let sweep_ref = &sweep;
+    let plan_ref = plan.as_ref();
     let runner = |cell: &SweepCell, graph: &DiGraph, seed: u64| -> TrialResult {
-        scale_trial(cell, graph, seed, sweep_ref.run_threads())
+        let threads = sweep_ref.run_threads();
+        match plan_ref.and_then(|p| p.open(cell, seed, "v2")) {
+            Some(mut sink) => {
+                let trial = scale_trial_traced(cell, graph, seed, threads, &mut sink);
+                if let Err(e) = sink.finish(trial.success) {
+                    eprintln!("warning: e18 trace footer write failed: {e}");
+                }
+                trial
+            }
+            None => scale_trial(cell, graph, seed, threads),
+        }
     };
     let mut results = Vec::with_capacity(sweep.cells().len());
     let mut wall_per_trial = Vec::with_capacity(sweep.cells().len());
@@ -292,6 +361,19 @@ pub fn run_scaled(ctx: &Ctx, min_exp: u32, max_exp: u32, threads: usize) -> Repo
             ));
         }
         Err(e) => eprintln!("warning: cannot write e18 sweep JSON: {e}"),
+    }
+    if let Some(plan) = &plan {
+        report.para(format!(
+            "Trace capture was on (`ADHOC_RADIO_TRACE`): {} per-round \
+             `.rtrc` recording(s) — the first trial of each cell — under \
+             `{}`. Inspect with `cargo run --release -p radio-trace --bin \
+             trace -- info/export`, or re-drive the seed through a \
+             `ReplayVerifier` to check bit-identical replay. Capture does \
+             not perturb the runs: the sweep JSON above is byte-identical \
+             with tracing on or off.",
+            plan.recorded(),
+            plan.dir().display()
+        ));
     }
     report
 }
@@ -541,7 +623,8 @@ pub fn run(ctx: &Ctx) -> Report {
         "ADHOC_RADIO_E18_THREADS",
         std::thread::available_parallelism().map_or(1, |p| p.get().min(8)),
     );
-    let mut report = run_scaled(ctx, min_exp, max_exp, threads.max(1));
+    let trace_dir = std::env::var_os("ADHOC_RADIO_TRACE").map(std::path::PathBuf::from);
+    let mut report = run_scaled(ctx, min_exp, max_exp, threads.max(1), trace_dir.as_deref());
 
     // The implicit-backend rows. Defaults keep the whole experiment
     // regenerable in reasonable wall-clock; raise

@@ -116,7 +116,7 @@ fn e18_runs_at_smoke_scale_and_emits_deterministic_json() {
         scale: 0.25,
         out_dir: dir.clone(),
     };
-    let report = e18_scale::run_scaled(&ctx, 9, 10, 2);
+    let report = e18_scale::run_scaled(&ctx, 9, 10, 2, None);
     assert_eq!(report.id, "e18");
     assert!(report.body.contains("gnp_directed"));
     assert!(report.body.contains("geometric"));
@@ -136,9 +136,62 @@ fn e18_runs_at_smoke_scale_and_emits_deterministic_json() {
         out_dir: dir2.clone(),
         ..ctx
     };
-    let _ = e18_scale::run_scaled(&ctx2, 9, 10, 4);
+    let _ = e18_scale::run_scaled(&ctx2, 9, 10, 4, None);
     let text2 = std::fs::read_to_string(dir2.join("sweep_e18.json")).expect("second run");
     assert_eq!(text, text2, "e18 JSON must not depend on thread count");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+/// The `ADHOC_RADIO_TRACE` knob (passed explicitly here — no env
+/// mutation in a multi-threaded test binary): one `.rtrc` per cell, the
+/// recordings are readable, and — zero-interference — the sweep JSON is
+/// byte-identical to an untraced run.
+#[test]
+fn e18_trace_knob_records_one_trial_per_cell() {
+    use radio_sim::trace::Recording;
+
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("e18-traced-{pid}"));
+    let traces = dir.join("traces");
+    let ctx = Ctx {
+        seed: 0xE18,
+        scale: 0.25,
+        out_dir: dir.clone(),
+    };
+    let report = e18_scale::run_scaled(&ctx, 9, 10, 2, Some(&traces));
+    assert!(report.body.contains("ADHOC_RADIO_TRACE"));
+    let traced_json = std::fs::read_to_string(dir.join("sweep_e18.json")).expect("traced JSON");
+
+    let mut rtrc: Vec<_> = std::fs::read_dir(&traces)
+        .expect("trace dir created")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rtrc"))
+        .collect();
+    rtrc.sort();
+    // One recording per cell: 2 sizes × 2 families × 3 algorithms.
+    assert_eq!(rtrc.len(), 12, "expected one .rtrc per cell: {rtrc:?}");
+    for path in &rtrc {
+        let rec = Recording::read_from(path).expect("readable recording");
+        assert_eq!(rec.header.engine, "v2");
+        assert!(
+            !rec.rounds.is_empty(),
+            "empty recording at {}",
+            path.display()
+        );
+    }
+
+    // Capture must not perturb the sweep: byte-compare against an
+    // untraced run of the same (seed, range, threads).
+    let dir2 = std::env::temp_dir().join(format!("e18-traced2-{pid}"));
+    let ctx2 = Ctx {
+        out_dir: dir2.clone(),
+        ..ctx
+    };
+    let _ = e18_scale::run_scaled(&ctx2, 9, 10, 2, None);
+    let plain_json = std::fs::read_to_string(dir2.join("sweep_e18.json")).expect("untraced JSON");
+    assert_eq!(traced_json, plain_json, "tracing changed the sweep JSON");
 
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&dir2);

@@ -340,8 +340,37 @@ pub fn run_windowed_fused<T: Topology>(
     engine_cfg: EngineConfig,
     run_seed: u64,
 ) -> BroadcastOutcome {
+    run_windowed_fused_traced(
+        graph,
+        source,
+        spec,
+        engine_cfg,
+        run_seed,
+        &mut radio_sim::trace::NullSink,
+    )
+}
+
+/// [`run_windowed_fused`] with a [`radio_sim::trace::TraceSink`]
+/// attached: the identical run (the sink only observes — the engine's
+/// zero-interference property holds it to that), with every round's
+/// structured events emitted to `sink` for recording or replay
+/// verification.
+pub fn run_windowed_fused_traced<T: Topology, S: radio_sim::trace::TraceSink>(
+    graph: &T,
+    source: NodeId,
+    spec: WindowedSpec,
+    engine_cfg: EngineConfig,
+    run_seed: u64,
+    sink: &mut S,
+) -> BroadcastOutcome {
     let mut protocol = WindowedBroadcast::new(graph.n(), source, spec);
-    let run = radio_sim::engine::run_protocol_fused(graph, &mut protocol, engine_cfg, run_seed);
+    let run = radio_sim::engine::run_protocol_fused_traced(
+        graph,
+        &mut protocol,
+        engine_cfg,
+        run_seed,
+        sink,
+    );
     BroadcastOutcome::from_run(
         graph.n(),
         protocol.informed_count(),

@@ -5,6 +5,7 @@ use crate::streams::DecideStreams;
 use crate::{Action, FusedDecide, Protocol};
 use radio_energy::{Duty, EnergySession};
 use radio_graph::{DiGraph, NodeId, Topology};
+use radio_trace::{NullSink, TraceEvent, TraceSink};
 use rand_chacha::ChaCha8Rng;
 
 /// Engine knobs.
@@ -465,8 +466,47 @@ impl<'g, T: Topology> Engine<'g, T> {
     ) -> RunResult {
         assert!(threads >= 1, "threads must be at least 1");
         let g = self.graph;
-        self.run_core(|_| g, protocol, rng, &mut NoEnergy, threads)
+        self.run_core(|_| g, protocol, rng, &mut NoEnergy, &mut NullSink, threads)
             .0
+    }
+
+    /// [`Engine::run`] with a structured [`TraceSink`] receiving the
+    /// round-by-round event stream — see the `radio-trace` crate for the
+    /// event model, the recording sinks, and replay verification.
+    ///
+    /// The sink is a monomorphized hook exactly like the energy overlay:
+    /// with [`NullSink`] every emission site compiles out, so the
+    /// untraced entry points keep their existing codegen, and a
+    /// recording sink costs one buffered push per event on the serial
+    /// side of the round. Sinks observe the run without influencing it —
+    /// they never touch the protocol RNG — so a traced run is
+    /// bit-identical to its untraced twin (property-tested in
+    /// `tests/trace_zero_interference.rs`).
+    pub fn run_traced<P: Protocol, S: TraceSink>(
+        &mut self,
+        protocol: &mut P,
+        rng: &mut ChaCha8Rng,
+        sink: &mut S,
+    ) -> RunResult {
+        let threads = self.cfg.threads.max(1);
+        let g = self.graph;
+        self.run_core(|_| g, protocol, rng, &mut NoEnergy, sink, threads)
+            .0
+    }
+
+    /// [`Engine::run_energy`] with a structured [`TraceSink`] — the
+    /// energy overlay and the trace hook compose; see
+    /// [`Engine::run_traced`].
+    pub fn run_energy_traced<P: Protocol, S: TraceSink>(
+        &mut self,
+        protocol: &mut P,
+        rng: &mut ChaCha8Rng,
+        session: &mut EnergySession,
+        sink: &mut S,
+    ) -> EnergyRunResult {
+        let threads = self.cfg.threads.max(1);
+        let g = self.graph;
+        self.run_energy_core(|_| g, protocol, rng, session, sink, threads)
     }
 
     /// [`Engine::run_par`] with an energy overlay — the parallel scatter
@@ -481,7 +521,7 @@ impl<'g, T: Topology> Engine<'g, T> {
     ) -> EnergyRunResult {
         assert!(threads >= 1, "threads must be at least 1");
         let g = self.graph;
-        self.run_energy_core(|_| g, protocol, rng, session, threads)
+        self.run_energy_core(|_| g, protocol, rng, session, &mut NullSink, threads)
     }
 
     /// [`Engine::run`] with an energy overlay: duties are charged to
@@ -508,7 +548,8 @@ impl<'g, T: Topology> Engine<'g, T> {
         P: Protocol,
     {
         let threads = self.cfg.threads.max(1);
-        self.run_core(pick, protocol, rng, &mut NoEnergy, threads).0
+        self.run_core(pick, protocol, rng, &mut NoEnergy, &mut NullSink, threads)
+            .0
     }
 
     /// [`Engine::run_with`] with an energy overlay — see
@@ -525,22 +566,24 @@ impl<'g, T: Topology> Engine<'g, T> {
         P: Protocol,
     {
         let threads = self.cfg.threads.max(1);
-        self.run_energy_core(pick, protocol, rng, session, threads)
+        self.run_energy_core(pick, protocol, rng, session, &mut NullSink, threads)
     }
 
     /// Shared energy-overlay wrapper: session lifecycle around the core
     /// loop at an explicit thread count.
-    fn run_energy_core<F, P>(
+    fn run_energy_core<F, P, S>(
         &mut self,
         pick: F,
         protocol: &mut P,
         rng: &mut ChaCha8Rng,
         session: &mut EnergySession,
+        sink: &mut S,
         threads: usize,
     ) -> EnergyRunResult
     where
         F: Fn(u64) -> &'g T,
         P: Protocol,
+        S: TraceSink,
     {
         assert_eq!(
             session.n(),
@@ -548,7 +591,8 @@ impl<'g, T: Topology> Engine<'g, T> {
             "energy session node count must match the graph"
         );
         session.begin();
-        let (run, stopped_on_depletion) = self.run_core(pick, protocol, rng, session, threads);
+        let (run, stopped_on_depletion) =
+            self.run_core(pick, protocol, rng, session, sink, threads);
         let energy = session.finalize(run.metrics.per_node());
         EnergyRunResult {
             run,
@@ -557,22 +601,31 @@ impl<'g, T: Topology> Engine<'g, T> {
         }
     }
 
-    /// The round loop, generic over the energy hook. Returns the run and
-    /// whether the hook requested an early stop. `threads` is the scatter
-    /// worker count; every value yields bit-identical results (see
-    /// [`Engine::run_par`]).
-    fn run_core<F, P, E>(
+    /// The round loop, generic over the energy hook and the trace sink.
+    /// Returns the run and whether the hook requested an early stop.
+    /// `threads` is the scatter worker count; every value yields
+    /// bit-identical results (see [`Engine::run_par`]).
+    ///
+    /// Every `sink.emit` site is gated on `S::ACTIVE`, so the
+    /// [`NullSink`] instantiation compiles to exactly the pre-trace
+    /// loop. Emissions happen only on the serial side — the round
+    /// preamble, the poll sweep, and the ascending-receiver delivery
+    /// sweep — so the event order is deterministic and identical for
+    /// every thread count.
+    fn run_core<F, P, E, S>(
         &mut self,
         pick: F,
         protocol: &mut P,
         rng: &mut ChaCha8Rng,
         hook: &mut E,
+        sink: &mut S,
         threads: usize,
     ) -> (RunResult, bool)
     where
         F: Fn(u64) -> &'g T,
         P: Protocol,
         E: EnergyHook,
+        S: TraceSink,
     {
         let n = self.graph.n();
         assert!(
@@ -637,6 +690,9 @@ impl<'g, T: Topology> Engine<'g, T> {
             let hit_many = hit_once | 1;
             let graph = pick(round);
             debug_assert_eq!(graph.n(), n, "topology changed node count mid-run");
+            if S::ACTIVE {
+                sink.emit(TraceEvent::RoundStart { round });
+            }
 
             // --- poll phase -------------------------------------------------
             transmitters.clear();
@@ -651,6 +707,9 @@ impl<'g, T: Topology> Engine<'g, T> {
                     // the poll list for good (a dead node can't be woken).
                     is_awake[v as usize] = false;
                     awake_count -= 1;
+                    if S::ACTIVE {
+                        sink.emit(TraceEvent::Depleted { node: v });
+                    }
                     continue;
                 }
                 match protocol.decide(v, round, rng) {
@@ -663,10 +722,16 @@ impl<'g, T: Topology> Engine<'g, T> {
                         self.sent[v as usize] = rstamp;
                         awake_list[w] = v;
                         w += 1;
+                        if S::ACTIVE {
+                            sink.emit(TraceEvent::Transmit { node: v });
+                        }
                     }
                     Action::Sleep => {
                         is_awake[v as usize] = false;
                         awake_count -= 1;
+                        if S::ACTIVE {
+                            sink.emit(TraceEvent::Sleep { node: v });
+                        }
                     }
                 }
             }
@@ -700,33 +765,47 @@ impl<'g, T: Topology> Engine<'g, T> {
             let mut first_receptions = 0u64;
             if !transmitters.is_empty() {
                 let dense = self.touched.len() >= n / 8;
-                let mut deliver_to =
-                    |v: NodeId, protocol: &mut P, rng: &mut ChaCha8Rng, hook: &mut E| {
-                        let delivered = deliver_one(
-                            &self.hits,
-                            &self.sent,
-                            self.cfg.half_duplex,
-                            hit_once,
-                            rstamp,
-                            v,
-                            round,
-                            protocol,
-                            hook,
-                            rng,
-                            &mut deliveries,
-                            &mut first_receptions,
-                        );
-                        let vi = v as usize;
-                        if delivered && !is_awake[vi] {
-                            is_awake[vi] = true;
-                            awake_count += 1;
-                            awake_list.push(v);
-                        }
-                    };
+                let mut deliver_to = |v: NodeId,
+                                      protocol: &mut P,
+                                      rng: &mut ChaCha8Rng,
+                                      hook: &mut E,
+                                      sink: &mut S| {
+                    let vi = v as usize;
+                    if S::ACTIVE && self.hits[vi].stamp == hit_many {
+                        sink.emit(TraceEvent::Collision { node: v });
+                    }
+                    let delivered = deliver_one(
+                        &self.hits,
+                        &self.sent,
+                        self.cfg.half_duplex,
+                        hit_once,
+                        rstamp,
+                        v,
+                        round,
+                        protocol,
+                        hook,
+                        rng,
+                        &mut deliveries,
+                        &mut first_receptions,
+                    );
+                    let woke = delivered && !is_awake[vi];
+                    if S::ACTIVE && delivered {
+                        sink.emit(TraceEvent::Deliver {
+                            node: v,
+                            from: self.hits[vi].source,
+                            woke,
+                        });
+                    }
+                    if woke {
+                        is_awake[vi] = true;
+                        awake_count += 1;
+                        awake_list.push(v);
+                    }
+                };
                 if dense {
                     for v in 0..n as NodeId {
                         if self.hits[v as usize].stamp | 1 == hit_many {
-                            deliver_to(v, protocol, rng, hook);
+                            deliver_to(v, protocol, rng, hook, sink);
                         }
                     }
                 } else {
@@ -737,7 +816,7 @@ impl<'g, T: Topology> Engine<'g, T> {
                         self.touched.sort_unstable();
                     }
                     for i in 0..self.touched.len() {
-                        deliver_to(self.touched[i], protocol, rng, hook);
+                        deliver_to(self.touched[i], protocol, rng, hook, sink);
                     }
                 }
             }
@@ -750,6 +829,14 @@ impl<'g, T: Topology> Engine<'g, T> {
             }
 
             completed = protocol.is_complete();
+
+            if S::ACTIVE {
+                sink.emit(TraceEvent::RoundEnd {
+                    transmitters: transmitters.len() as u64,
+                    deliveries,
+                    awake: awake_count as u64,
+                });
+            }
 
             if let Some(t) = trace.as_mut() {
                 t.rounds.push(RoundRecord {
@@ -972,9 +1059,69 @@ impl<'g, T: Topology> Engine<'g, T> {
             protocol,
             DecideStreams::new(run_seed),
             &mut NoEnergy,
+            &mut NullSink,
             threads,
         )
         .0
+    }
+
+    /// [`Engine::run_fused`] with a structured [`TraceSink`] — see
+    /// [`Engine::run_traced`]. The fused engine's decide phase may fan
+    /// out over workers, but every emission happens on the serial side
+    /// (the commit sweep and the delivery sweep), so the event stream is
+    /// bit-identical for every thread count — which is exactly what
+    /// makes `record once, replay at any thread count` a meaningful
+    /// verification step.
+    pub fn run_fused_traced<P: FusedDecide, S: TraceSink>(
+        &mut self,
+        protocol: &mut P,
+        run_seed: u64,
+        sink: &mut S,
+    ) -> RunResult {
+        let threads = self.cfg.threads.max(1);
+        let g = self.graph;
+        self.run_fused_core(
+            |_| g,
+            protocol,
+            DecideStreams::new(run_seed),
+            &mut NoEnergy,
+            sink,
+            threads,
+        )
+        .0
+    }
+
+    /// [`Engine::run_fused_energy`] with a structured [`TraceSink`] —
+    /// see [`Engine::run_fused_traced`].
+    pub fn run_fused_energy_traced<P: FusedDecide, S: TraceSink>(
+        &mut self,
+        protocol: &mut P,
+        run_seed: u64,
+        session: &mut EnergySession,
+        sink: &mut S,
+    ) -> EnergyRunResult {
+        let threads = self.cfg.threads.max(1);
+        assert_eq!(
+            session.n(),
+            self.graph.n(),
+            "energy session node count must match the graph"
+        );
+        session.begin();
+        let g = self.graph;
+        let (run, stopped_on_depletion) = self.run_fused_core(
+            |_| g,
+            protocol,
+            DecideStreams::new(run_seed),
+            session,
+            sink,
+            threads,
+        );
+        let energy = session.finalize(run.metrics.per_node());
+        EnergyRunResult {
+            run,
+            energy,
+            stopped_on_depletion,
+        }
     }
 
     /// [`Engine::run_fused`] with an energy overlay. Duty charges happen
@@ -1014,6 +1161,7 @@ impl<'g, T: Topology> Engine<'g, T> {
             protocol,
             DecideStreams::new(run_seed),
             session,
+            &mut NullSink,
             threads,
         );
         let energy = session.finalize(run.metrics.per_node());
@@ -1040,18 +1188,20 @@ impl<'g, T: Topology> Engine<'g, T> {
     ///   (mass passivation — Algorithm 1's Phase 2, retirement windows).
     /// * **delivery** — serial, ascending receiver order, with
     ///   `on_receive` drawing from the receiver's v2 receive lane.
-    fn run_fused_core<F, P, E>(
+    fn run_fused_core<F, P, E, S>(
         &mut self,
         pick: F,
         protocol: &mut P,
         streams: DecideStreams,
         hook: &mut E,
+        sink: &mut S,
         threads: usize,
     ) -> (RunResult, bool)
     where
         F: Fn(u64) -> &'g T,
         P: FusedDecide,
         E: EnergyHook + Sync,
+        S: TraceSink,
     {
         let n = self.graph.n();
         assert!(
@@ -1123,6 +1273,9 @@ impl<'g, T: Topology> Engine<'g, T> {
             let hit_many = hit_once | 1;
             let graph = pick(round);
             debug_assert_eq!(graph.n(), n, "topology changed node count mid-run");
+            if S::ACTIVE {
+                sink.emit(TraceEvent::RoundStart { round });
+            }
 
             // --- decide phase -----------------------------------------------
             protocol.begin_round(round);
@@ -1200,12 +1353,18 @@ impl<'g, T: Topology> Engine<'g, T> {
                         if E::ACTIVE {
                             hook.charge(v, Duty::Transmit, round);
                         }
+                        if S::ACTIVE {
+                            sink.emit(TraceEvent::Transmit { node: v });
+                        }
                     }
                     DecideEvent::Sleep => {
                         protocol.commit_decide(v, round, Action::Sleep);
                         is_awake[vi] = false;
                         awake_count -= 1;
                         stale += 1;
+                        if S::ACTIVE {
+                            sink.emit(TraceEvent::Sleep { node: v });
+                        }
                     }
                     DecideEvent::Dead => {
                         // Battery ran out in an earlier round: fail-stop,
@@ -1213,6 +1372,9 @@ impl<'g, T: Topology> Engine<'g, T> {
                         is_awake[vi] = false;
                         awake_count -= 1;
                         stale += 1;
+                        if S::ACTIVE {
+                            sink.emit(TraceEvent::Depleted { node: v });
+                        }
                     }
                 }
             }
@@ -1259,11 +1421,15 @@ impl<'g, T: Topology> Engine<'g, T> {
             let mut first_receptions = 0u64;
             if !transmitters.is_empty() {
                 let dense = self.touched.len() >= n / 8;
-                let mut deliver_to = |v: NodeId, protocol: &mut P, hook: &mut E| {
+                let mut deliver_to = |v: NodeId, protocol: &mut P, hook: &mut E, sink: &mut S| {
                     // Same semantics as the v1 core, via the shared
                     // `deliver_one`; only the rng source (the
                     // receiver's v2 receive lane) and the stale-aware
                     // wake bookkeeping differ.
+                    let vi = v as usize;
+                    if S::ACTIVE && self.hits[vi].stamp == hit_many {
+                        sink.emit(TraceEvent::Collision { node: v });
+                    }
                     let delivered = deliver_one(
                         &self.hits,
                         &self.sent,
@@ -1278,8 +1444,15 @@ impl<'g, T: Topology> Engine<'g, T> {
                         &mut deliveries,
                         &mut first_receptions,
                     );
-                    let vi = v as usize;
-                    if delivered && !is_awake[vi] {
+                    let woke = delivered && !is_awake[vi];
+                    if S::ACTIVE && delivered {
+                        sink.emit(TraceEvent::Deliver {
+                            node: v,
+                            from: self.hits[vi].source,
+                            woke,
+                        });
+                    }
+                    if woke {
                         is_awake[vi] = true;
                         awake_count += 1;
                         if in_list[vi] {
@@ -1296,7 +1469,7 @@ impl<'g, T: Topology> Engine<'g, T> {
                 if dense {
                     for v in 0..n as NodeId {
                         if self.hits[v as usize].stamp | 1 == hit_many {
-                            deliver_to(v, protocol, hook);
+                            deliver_to(v, protocol, hook, sink);
                         }
                     }
                 } else {
@@ -1304,7 +1477,7 @@ impl<'g, T: Topology> Engine<'g, T> {
                         self.touched.sort_unstable();
                     }
                     for i in 0..self.touched.len() {
-                        deliver_to(self.touched[i], protocol, hook);
+                        deliver_to(self.touched[i], protocol, hook, sink);
                     }
                 }
             }
@@ -1314,6 +1487,14 @@ impl<'g, T: Topology> Engine<'g, T> {
             }
 
             completed = protocol.is_complete();
+
+            if S::ACTIVE {
+                sink.emit(TraceEvent::RoundEnd {
+                    transmitters: transmitters.len() as u64,
+                    deliveries,
+                    awake: awake_count as u64,
+                });
+            }
 
             if let Some(t) = trace.as_mut() {
                 t.rounds.push(RoundRecord {
@@ -1478,6 +1659,56 @@ pub fn run_protocol_energy<T: Topology, P: Protocol>(
     session: &mut EnergySession,
 ) -> EnergyRunResult {
     Engine::new(graph, cfg).run_energy(protocol, rng, session)
+}
+
+/// One-shot convenience for a traced v1 run — see
+/// [`Engine::run_traced`] for the sink contract.
+pub fn run_protocol_traced<T: Topology, P: Protocol, S: TraceSink>(
+    graph: &T,
+    protocol: &mut P,
+    cfg: EngineConfig,
+    rng: &mut ChaCha8Rng,
+    sink: &mut S,
+) -> RunResult {
+    Engine::new(graph, cfg).run_traced(protocol, rng, sink)
+}
+
+/// One-shot convenience for a traced v1 run under an energy overlay —
+/// see [`Engine::run_energy_traced`].
+pub fn run_protocol_energy_traced<T: Topology, P: Protocol, S: TraceSink>(
+    graph: &T,
+    protocol: &mut P,
+    cfg: EngineConfig,
+    rng: &mut ChaCha8Rng,
+    session: &mut EnergySession,
+    sink: &mut S,
+) -> EnergyRunResult {
+    Engine::new(graph, cfg).run_energy_traced(protocol, rng, session, sink)
+}
+
+/// One-shot convenience for a traced fused v2 run — see
+/// [`Engine::run_fused_traced`].
+pub fn run_protocol_fused_traced<T: Topology, P: FusedDecide, S: TraceSink>(
+    graph: &T,
+    protocol: &mut P,
+    cfg: EngineConfig,
+    run_seed: u64,
+    sink: &mut S,
+) -> RunResult {
+    Engine::new(graph, cfg).run_fused_traced(protocol, run_seed, sink)
+}
+
+/// One-shot convenience for a traced fused v2 run under an energy
+/// overlay — see [`Engine::run_fused_energy_traced`].
+pub fn run_protocol_fused_energy_traced<T: Topology, P: FusedDecide, S: TraceSink>(
+    graph: &T,
+    protocol: &mut P,
+    cfg: EngineConfig,
+    run_seed: u64,
+    session: &mut EnergySession,
+    sink: &mut S,
+) -> EnergyRunResult {
+    Engine::new(graph, cfg).run_fused_energy_traced(protocol, run_seed, session, sink)
 }
 
 /// Run on a *changing topology*: the network uses `graphs[k]` during

@@ -80,11 +80,18 @@ pub mod trials;
 /// the engine's `*_energy` entry points drive.
 pub use radio_energy as energy;
 
+/// The structured trace subsystem (`radio-trace`), re-exported: the
+/// [`TraceSink`](radio_trace::TraceSink) hook the engine's `*_traced`
+/// entry points drive, the `.rtrc` recording sinks/reader, replay
+/// verification, and first-divergence diffing.
+pub use radio_trace as trace;
+
 pub use baseline::{run_adjlist, AdjListGraph};
 pub use engine::{
-    run_dynamic, run_dynamic_energy, run_protocol_energy, run_protocol_fused,
-    run_protocol_fused_energy, run_protocol_par, run_protocol_par_energy, EnergyRunResult, Engine,
-    EngineConfig, RunResult,
+    run_dynamic, run_dynamic_energy, run_protocol_energy, run_protocol_energy_traced,
+    run_protocol_fused, run_protocol_fused_energy, run_protocol_fused_energy_traced,
+    run_protocol_fused_traced, run_protocol_par, run_protocol_par_energy, run_protocol_traced,
+    EnergyRunResult, Engine, EngineConfig, RunResult,
 };
 pub use fault::{CrashPlan, Faulty};
 pub use metrics::{EnergyMetrics, Metrics, RoundRecord, Trace};
@@ -93,7 +100,7 @@ pub use radio_energy::{
 };
 pub use streams::DecideStreams;
 pub use sweep::{
-    CellResults, CellSummary, Sweep, SweepCell, SweepReport, TrialEnergy, TrialResult,
+    CellResults, CellSummary, Sweep, SweepCell, SweepReport, TracePlan, TrialEnergy, TrialResult,
 };
 pub use trials::parallel_trials;
 

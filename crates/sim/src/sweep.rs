@@ -577,6 +577,115 @@ impl SweepReport {
     }
 }
 
+/// Opt-in per-trial `.rtrc` capture for sweep runners, with **capped
+/// retention**: at most `per_cell_cap` recordings per cell, so a
+/// thousand-trial sweep keeps a debuggable sample instead of a disk
+/// full of traces.
+///
+/// The plan is deliberately *not* wired into the runner signature —
+/// `(cell, graph, seed) → TrialResult` stays untouched, sweeps that
+/// don't trace pay nothing. A runner that wants capture holds a plan
+/// and asks it per trial:
+///
+/// ```ignore
+/// let plan = TracePlan::new("results/traces", 2);
+/// sweep.run(|cell, graph, seed| {
+///     let mut sink = plan.open(cell, seed, "v2");
+///     let run = match sink.as_mut() {
+///         Some(sink) => run_protocol_fused_traced(graph, &mut proto, cfg, seed, sink),
+///         None => run_protocol_fused(graph, &mut proto, cfg, seed),
+///     };
+///     if let Some(sink) = sink {
+///         let _ = sink.finish(run.completed); // runner owns the footer
+///     }
+///     TrialResult::from_run(&run, run.completed, informed)
+/// });
+/// ```
+///
+/// `open` is thread-safe (sweeps fan trials out over rayon); the cap
+/// check and the slot claim are one atomic step, so concurrent trials
+/// of the same cell never over-record. I/O failures are reported to
+/// stderr and yield `None` — a broken trace directory degrades a sweep
+/// to untraced, it never fails it.
+#[derive(Debug)]
+pub struct TracePlan {
+    dir: PathBuf,
+    per_cell_cap: usize,
+    counts: std::sync::Mutex<std::collections::HashMap<String, usize>>,
+}
+
+impl TracePlan {
+    /// Record into `dir` (created on first open), keeping at most
+    /// `per_cell_cap` recordings per cell.
+    pub fn new(dir: impl Into<PathBuf>, per_cell_cap: usize) -> Self {
+        TracePlan {
+            dir: dir.into(),
+            per_cell_cap,
+            counts: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// The trace directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total recordings opened so far.
+    pub fn recorded(&self) -> usize {
+        self.counts.lock().expect("trace-plan lock").values().sum()
+    }
+
+    /// Claim a recording slot for `(cell, seed)` and open the sink, or
+    /// `None` when the cell's cap is reached (or the file cannot be
+    /// created). `engine` is the determinism contract the runner drives
+    /// (`"v1"` / `"v2"`), stamped into the header so replay tooling
+    /// knows how to re-drive the run. The caller must call
+    /// [`finish`](radio_trace::RecordingSink::finish) after the run.
+    pub fn open(
+        &self,
+        cell: &SweepCell,
+        seed: u64,
+        engine: &str,
+    ) -> Option<radio_trace::RecordingSink<io::BufWriter<std::fs::File>>> {
+        let key = format!(
+            "{}/{}/n{}/p{}",
+            cell.algorithm,
+            cell.family.label(),
+            cell.n,
+            cell.p
+        );
+        {
+            let mut counts = self.counts.lock().expect("trace-plan lock");
+            let slot = counts.entry(key).or_insert(0);
+            if *slot >= self.per_cell_cap {
+                return None;
+            }
+            *slot += 1;
+        }
+        let topology = format!("{}/n={}/p={}", cell.family.label(), cell.n, cell.p);
+        let header = radio_trace::RunHeader::new(seed, engine, topology);
+        let file = format!(
+            "{}-{}-n{}-p{}-s{}.rtrc",
+            cell.algorithm,
+            cell.family.label(),
+            cell.n,
+            cell.p,
+            seed
+        );
+        match radio_trace::RecordingSink::create(self.dir.join(file), &header) {
+            Ok(sink) => Some(sink),
+            Err(e) => {
+                eprintln!(
+                    "radio-sim: trace capture disabled for this trial \
+                     (cannot create recording under {}: {e})",
+                    self.dir.display()
+                );
+                None
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -749,6 +858,76 @@ mod tests {
         assert!(path.ends_with("sweep_empty.json"));
         let text = std::fs::read_to_string(&path).expect("readable");
         assert!(Json::parse(&text).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_plan_caps_recordings_per_cell() {
+        let dir = std::env::temp_dir().join(format!("sweep-traces-{}", std::process::id()));
+        let plan = TracePlan::new(&dir, 2);
+        let cell_a = SweepCell::new("flood", GraphFamily::GnpDirected, 32, 0.2);
+        let cell_b = SweepCell::new("flood", GraphFamily::GnpDirected, 64, 0.2);
+        for seed in [1u64, 2, 3] {
+            let sink = plan.open(&cell_a, seed, "v1");
+            if seed <= 2 {
+                let sink = sink.expect("under the cap");
+                sink.finish(false).expect("footer");
+            } else {
+                assert!(sink.is_none(), "third recording must be capped");
+            }
+        }
+        // A different cell has its own budget.
+        assert!(plan.open(&cell_b, 9, "v2").is_some());
+        assert_eq!(plan.recorded(), 3);
+        // The capped files are real, readable recordings.
+        let rec =
+            radio_trace::Recording::read_from(dir.join("flood-gnp_directed-n32-p0.2-s1.rtrc"))
+                .expect("readable recording");
+        assert_eq!(rec.header.seed, 1);
+        assert_eq!(rec.header.engine, "v1");
+        assert_eq!(rec.header.topology, "gnp_directed/n=32/p=0.2");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_plan_runs_inside_a_parallel_sweep() {
+        let dir = std::env::temp_dir().join(format!("sweep-traces-par-{}", std::process::id()));
+        let plan = TracePlan::new(&dir, 1);
+        let sw = small_sweep();
+        let results = sw.collect(|cell, graph, seed| {
+            let mut proto = P3Flood::new(graph.n());
+            let mut rng = derive_rng(seed, b"plan", 0);
+            let cfg = EngineConfig::with_max_rounds(60);
+            let run = match plan.open(cell, seed, "v1") {
+                Some(mut sink) => {
+                    let run = crate::engine::run_protocol_traced(
+                        graph, &mut proto, cfg, &mut rng, &mut sink,
+                    );
+                    sink.finish(run.completed).expect("footer");
+                    run
+                }
+                None => run_protocol(graph, &mut proto, cfg, &mut rng),
+            };
+            TrialResult::from_run(&run, run.completed, proto.n_informed)
+        });
+        // One recording per cell, and traced trials report identically
+        // to untraced ones (the sweep report can't tell them apart).
+        assert_eq!(plan.recorded(), sw.cells().len());
+        let untraced = sw.collect(|_cell, graph, seed| {
+            let mut proto = P3Flood::new(graph.n());
+            let mut rng = derive_rng(seed, b"plan", 0);
+            let run = run_protocol(
+                graph,
+                &mut proto,
+                EngineConfig::with_max_rounds(60),
+                &mut rng,
+            );
+            TrialResult::from_run(&run, run.completed, proto.n_informed)
+        });
+        assert_eq!(
+            sw.report(&results).to_json_string(),
+            sw.report(&untraced).to_json_string()
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

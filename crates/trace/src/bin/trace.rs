@@ -1,0 +1,116 @@
+//! `trace` — inspect, export, and diff `.rtrc` recordings.
+//!
+//! ```sh
+//! trace info run.rtrc                 # header, round/event counts
+//! trace export run.rtrc [out.jsonl]   # JSONL (stdout by default)
+//! trace diff a.rtrc b.rtrc            # first divergent event; exit 1 if any
+//! ```
+
+use radio_trace::{diff, first_divergence, jsonl, Recording};
+use std::process::ExitCode;
+
+fn usage() {
+    eprintln!(
+        "usage:\n  trace info <file.rtrc>\n  trace export <file.rtrc> [out.jsonl]\n  \
+         trace diff <a.rtrc> <b.rtrc>"
+    );
+}
+
+fn die(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> Result<Recording, String> {
+    Recording::read_from(path)
+}
+
+fn cmd_info(path: &str) -> ExitCode {
+    let rec = match load(path) {
+        Ok(r) => r,
+        Err(e) => return die(&e),
+    };
+    let h = &rec.header;
+    println!("file:         {path}");
+    println!("seed:         {}", h.seed);
+    println!("engine:       {}", h.engine);
+    println!("topology:     {}", h.topology);
+    println!("max_rounds:   {}", h.max_rounds);
+    println!("half_duplex:  {}", h.half_duplex);
+    println!("code_version: {}", h.code_version);
+    println!("rounds:       {}", rec.rounds.len());
+    println!("events:       {}", rec.event_count());
+    match rec.footer {
+        Some(f) => println!("completed:    {}", f.completed),
+        None => println!("completed:    unknown (no footer)"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_export(path: &str, out: Option<&str>) -> ExitCode {
+    let rec = match load(path) {
+        Ok(r) => r,
+        Err(e) => return die(&e),
+    };
+    let result = match out {
+        Some(out_path) => std::fs::File::create(out_path)
+            .and_then(|f| jsonl::export_jsonl(&rec, f))
+            .map_err(|e| format!("cannot write {out_path}: {e}")),
+        None => {
+            let stdout = std::io::stdout();
+            jsonl::export_jsonl(&rec, stdout.lock()).map_err(|e| format!("stdout: {e}"))
+        }
+    };
+    match result {
+        Ok(lines) => {
+            if let Some(out_path) = out {
+                eprintln!("wrote {lines} lines to {out_path}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => die(&e),
+    }
+}
+
+fn cmd_diff(path_a: &str, path_b: &str) -> ExitCode {
+    let (a, b) = match (load(path_a), load(path_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return die(&e),
+    };
+    let hdr = diff::header_diff(&a, &b);
+    for (field, va, vb) in &hdr {
+        println!("header {field}: A = {va}, B = {vb}");
+    }
+    match first_divergence(&a, &b) {
+        None => {
+            println!(
+                "event streams identical ({} rounds, {} events)",
+                a.rounds.len(),
+                a.event_count()
+            );
+            ExitCode::SUCCESS
+        }
+        Some(d) => {
+            println!("{d}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, path] if cmd == "info" => cmd_info(path),
+        [cmd, path] if cmd == "export" => cmd_export(path, None),
+        [cmd, path, out] if cmd == "export" => cmd_export(path, Some(out)),
+        [cmd, a, b] if cmd == "diff" => cmd_diff(a, b),
+        [cmd] if cmd == "--help" || cmd == "-h" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Differential debugging over two recordings: align them round by
+//! round and report the first event where the histories part ways.
+//!
+//! This is the offline counterpart of [`ReplayVerifier`]: replay
+//! compares a recording against a *live* run, diff compares two files
+//! after the fact (a seed-perturbed pair, a before/after of a suspect
+//! change, a v1 vs v2 capture). Alignment uses the blocks' round
+//! numbers, so a run that skipped or repeated rounds is caught before
+//! any event-level comparison.
+//!
+//! [`ReplayVerifier`]: crate::replay::ReplayVerifier
+
+use crate::binary::Recording;
+use crate::event::TraceEvent;
+
+/// The first point where two recordings disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventDivergence {
+    /// Round of the divergent position (side A's numbering where both
+    /// exist).
+    pub round: u64,
+    /// Event index within the round.
+    pub index: usize,
+    /// Side A's event at this position (`None`: A ended first).
+    pub a: Option<TraceEvent>,
+    /// Side B's event at this position (`None`: B ended first).
+    pub b: Option<TraceEvent>,
+}
+
+impl std::fmt::Display for EventDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let node = self
+            .a
+            .and_then(|e| e.node())
+            .or_else(|| self.b.and_then(|e| e.node()));
+        write!(
+            f,
+            "first divergence at round {}, event #{}",
+            self.round, self.index
+        )?;
+        if let Some(node) = node {
+            write!(f, ", node {node}")?;
+        }
+        match (&self.a, &self.b) {
+            (Some(a), Some(b)) => write!(f, ": A has {a:?}, B has {b:?}"),
+            (Some(a), None) => write!(f, ": A has {a:?}, B ended"),
+            (None, Some(b)) => write!(f, ": A ended, B has {b:?}"),
+            (None, None) => Ok(()),
+        }
+    }
+}
+
+/// Header fields that differ between two recordings, as
+/// `(field, a_value, b_value)` — a seed or config mismatch usually
+/// *explains* the event divergence, so the CLI prints these first.
+pub fn header_diff(a: &Recording, b: &Recording) -> Vec<(&'static str, String, String)> {
+    let (ha, hb) = (&a.header, &b.header);
+    let mut out = Vec::new();
+    if ha.seed != hb.seed {
+        out.push(("seed", ha.seed.to_string(), hb.seed.to_string()));
+    }
+    if ha.engine != hb.engine {
+        out.push(("engine", ha.engine.clone(), hb.engine.clone()));
+    }
+    if ha.topology != hb.topology {
+        out.push(("topology", ha.topology.clone(), hb.topology.clone()));
+    }
+    if ha.max_rounds != hb.max_rounds {
+        out.push((
+            "max_rounds",
+            ha.max_rounds.to_string(),
+            hb.max_rounds.to_string(),
+        ));
+    }
+    if ha.half_duplex != hb.half_duplex {
+        out.push((
+            "half_duplex",
+            ha.half_duplex.to_string(),
+            hb.half_duplex.to_string(),
+        ));
+    }
+    if ha.code_version != hb.code_version {
+        out.push((
+            "code_version",
+            ha.code_version.clone(),
+            hb.code_version.clone(),
+        ));
+    }
+    out
+}
+
+/// The first divergent event between two recordings, or `None` when
+/// their event streams are identical (headers are *not* compared —
+/// see [`header_diff`] for that; a re-recorded run under a newer code
+/// version should still diff clean when behavior is unchanged).
+pub fn first_divergence(a: &Recording, b: &Recording) -> Option<EventDivergence> {
+    let rounds = a.rounds.len().max(b.rounds.len());
+    for k in 0..rounds {
+        let (ra, rb) = (a.rounds.get(k), b.rounds.get(k));
+        match (ra, rb) {
+            (Some(ra), Some(rb)) => {
+                let len = ra.events.len().max(rb.events.len());
+                for i in 0..len {
+                    let (ea, eb) = (ra.events.get(i).copied(), rb.events.get(i).copied());
+                    if ea != eb {
+                        return Some(EventDivergence {
+                            round: ra.round,
+                            index: i,
+                            a: ea,
+                            b: eb,
+                        });
+                    }
+                }
+            }
+            (Some(ra), None) => {
+                return Some(EventDivergence {
+                    round: ra.round,
+                    index: 0,
+                    a: ra.events.first().copied(),
+                    b: None,
+                })
+            }
+            (None, Some(rb)) => {
+                return Some(EventDivergence {
+                    round: rb.round,
+                    index: 0,
+                    a: None,
+                    b: rb.events.first().copied(),
+                })
+            }
+            (None, None) => unreachable!("k < max(len_a, len_b)"),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::RoundEvents;
+    use crate::event::RunHeader;
+
+    fn rec(seed: u64, rounds: Vec<Vec<TraceEvent>>) -> Recording {
+        Recording {
+            header: RunHeader::new(seed, "v2", "test"),
+            rounds: rounds
+                .into_iter()
+                .enumerate()
+                .map(|(i, events)| RoundEvents {
+                    round: i as u64 + 1,
+                    events,
+                })
+                .collect(),
+            footer: None,
+        }
+    }
+
+    fn round(r: u64, mid: Vec<TraceEvent>) -> Vec<TraceEvent> {
+        let mut events = vec![TraceEvent::RoundStart { round: r }];
+        events.extend(mid);
+        events.push(TraceEvent::RoundEnd {
+            transmitters: 0,
+            deliveries: 0,
+            awake: 2,
+        });
+        events
+    }
+
+    #[test]
+    fn identical_recordings_diff_clean() {
+        let a = rec(1, vec![round(1, vec![TraceEvent::Transmit { node: 4 }])]);
+        assert_eq!(first_divergence(&a, &a.clone()), None);
+        assert!(header_diff(&a, &a.clone()).is_empty());
+    }
+
+    #[test]
+    fn event_level_divergence_is_pinpointed() {
+        let a = rec(
+            1,
+            vec![
+                round(1, vec![TraceEvent::Transmit { node: 4 }]),
+                round(2, vec![TraceEvent::Transmit { node: 5 }]),
+            ],
+        );
+        let b = rec(
+            1,
+            vec![
+                round(1, vec![TraceEvent::Transmit { node: 4 }]),
+                round(2, vec![TraceEvent::Transmit { node: 6 }]),
+            ],
+        );
+        let d = first_divergence(&a, &b).expect("divergence");
+        assert_eq!(d.round, 2);
+        assert_eq!(d.index, 1);
+        assert_eq!(d.a, Some(TraceEvent::Transmit { node: 5 }));
+        assert_eq!(d.b, Some(TraceEvent::Transmit { node: 6 }));
+        let msg = d.to_string();
+        assert!(msg.contains("round 2") && msg.contains("node 5"), "{msg}");
+    }
+
+    #[test]
+    fn extra_rounds_and_extra_events_are_divergences() {
+        let a = rec(1, vec![round(1, vec![])]);
+        let b = rec(1, vec![round(1, vec![]), round(2, vec![])]);
+        let d = first_divergence(&a, &b).expect("divergence");
+        assert_eq!((d.round, d.a), (2, None));
+
+        let short = rec(1, vec![round(1, vec![])]);
+        let long = rec(1, vec![round(1, vec![TraceEvent::Sleep { node: 0 }])]);
+        let d = first_divergence(&short, &long).expect("divergence");
+        assert_eq!(d.round, 1);
+        assert_eq!(d.index, 1); // short's RoundEnd vs long's Sleep
+    }
+
+    #[test]
+    fn header_diff_reports_changed_fields_only() {
+        let a = rec(1, vec![]);
+        let mut b = rec(2, vec![]);
+        b.header.half_duplex = true;
+        let d = header_diff(&a, &b);
+        let fields: Vec<&str> = d.iter().map(|(f, _, _)| *f).collect();
+        assert_eq!(fields, vec!["seed", "half_duplex"]);
+    }
+}

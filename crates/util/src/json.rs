@@ -12,8 +12,17 @@
 //!   The sweep determinism tests rely on this.
 //! * **Self-containment**: the comparator binary in CI parses these files
 //!   with [`Json::parse`], so the format is round-trippable in-tree.
+//!
+//! Two output paths share one recursive writer (so they are
+//! byte-compatible by construction): [`Json::to_string_pretty`] builds
+//! the document in memory, and [`Json::write_pretty_to`] /
+//! [`Json::write_compact_to`] stream it straight into an
+//! [`std::io::Write`] — the path for multi-GB artifacts (trace JSONL
+//! exports, campaign logs) where materializing the full `String`
+//! alongside the tree would double peak RSS.
 
-use std::fmt::Write as _;
+use std::fmt;
+use std::io::{self, Write as _};
 
 /// A JSON value. Objects preserve insertion order.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,7 +60,15 @@ impl Json {
         }
     }
 
-    /// The numeric value, if this is a number.
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Interpret as a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(x) => Some(*x),
@@ -79,54 +96,92 @@ impl Json {
     /// byte-deterministic for equal trees.
     pub fn to_string_pretty(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out, 0);
+        let _ = self.write(&mut out, 0, true); // writing to String is infallible
         out.push('\n');
         out
     }
 
-    fn write(&self, out: &mut String, indent: usize) {
+    /// Serialize to a single line with no trailing newline — the form
+    /// JSON-lines consumers expect (one document per line).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        let _ = self.write(&mut out, 0, false);
+        out
+    }
+
+    /// Stream the pretty form (identical bytes to
+    /// [`Json::to_string_pretty`], trailing newline included) into `w`
+    /// through an internal [`io::BufWriter`], flushing before return.
+    /// Peak memory is the tree plus one 8 KiB buffer, not the tree plus
+    /// the full rendered document.
+    pub fn write_pretty_to<W: io::Write>(&self, w: W) -> io::Result<()> {
+        let mut out = IoFmt::new(io::BufWriter::new(w));
+        self.write(&mut out, 0, true).map_err(|_| out.take_err())?;
+        let mut w = out.into_inner()?;
+        w.write_all(b"\n")?;
+        w.flush()
+    }
+
+    /// Stream the compact single-line form (identical bytes to
+    /// [`Json::to_string_compact`], no trailing newline) into `w` —
+    /// **unbuffered and unflushed** by design: a JSONL exporter calls
+    /// this once per line inside its own `BufWriter` loop, and a second
+    /// buffer layer per line would only add copies.
+    pub fn write_compact_to<W: io::Write>(&self, w: W) -> io::Result<()> {
+        let mut out = IoFmt::new(w);
+        self.write(&mut out, 0, false).map_err(|_| out.take_err())?;
+        Ok(())
+    }
+
+    fn write<W: fmt::Write>(&self, out: &mut W, indent: usize, pretty: bool) -> fmt::Result {
         match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Null => out.write_str("null"),
+            Json::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
             Json::Num(x) => write_num(out, *x),
             Json::Str(s) => write_escaped(out, s),
             Json::Arr(items) => {
                 if items.is_empty() {
-                    out.push_str("[]");
-                    return;
+                    return out.write_str("[]");
                 }
-                out.push('[');
+                out.write_char('[')?;
                 for (i, item) in items.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    item.write(out, indent + 1);
+                    if pretty {
+                        out.write_char('\n')?;
+                        push_indent(out, indent + 1)?;
+                    }
+                    item.write(out, indent + 1, pretty)?;
                 }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push(']');
+                if pretty {
+                    out.write_char('\n')?;
+                    push_indent(out, indent)?;
+                }
+                out.write_char(']')
             }
             Json::Obj(pairs) => {
                 if pairs.is_empty() {
-                    out.push_str("{}");
-                    return;
+                    return out.write_str("{}");
                 }
-                out.push('{');
+                out.write_char('{')?;
                 for (i, (k, v)) in pairs.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, indent + 1);
+                    if pretty {
+                        out.write_char('\n')?;
+                        push_indent(out, indent + 1)?;
+                    }
+                    write_escaped(out, k)?;
+                    out.write_str(if pretty { ": " } else { ":" })?;
+                    v.write(out, indent + 1, pretty)?;
                 }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push('}');
+                if pretty {
+                    out.write_char('\n')?;
+                    push_indent(out, indent)?;
+                }
+                out.write_char('}')
             }
         }
     }
@@ -145,38 +200,75 @@ impl Json {
     }
 }
 
-fn push_indent(out: &mut String, levels: usize) {
-    for _ in 0..levels {
-        out.push_str("  ");
-    }
+/// Bridges [`fmt::Write`] (what the recursive writer speaks) onto an
+/// [`io::Write`], parking the first I/O error so the caller can surface
+/// it as an `io::Result` instead of the information-free [`fmt::Error`].
+struct IoFmt<W: io::Write> {
+    inner: W,
+    err: Option<io::Error>,
 }
 
-fn write_num(out: &mut String, x: f64) {
-    if !x.is_finite() {
-        out.push_str("null");
-    } else if x == x.trunc() && x.abs() < 9.007_199_254_740_992e15 {
-        let _ = write!(out, "{}", x as i64);
-    } else {
-        let _ = write!(out, "{x}");
+impl<W: io::Write> IoFmt<W> {
+    fn new(inner: W) -> Self {
+        IoFmt { inner, err: None }
     }
-}
 
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
+    fn take_err(&mut self) -> io::Error {
+        self.err
+            .take()
+            .unwrap_or_else(|| io::Error::other("formatter error"))
+    }
+
+    fn into_inner(self) -> io::Result<W> {
+        match self.err {
+            Some(e) => Err(e),
+            None => Ok(self.inner),
         }
     }
-    out.push('"');
+}
+
+impl<W: io::Write> fmt::Write for IoFmt<W> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.inner.write_all(s.as_bytes()).map_err(|e| {
+            if self.err.is_none() {
+                self.err = Some(e);
+            }
+            fmt::Error
+        })
+    }
+}
+
+fn push_indent<W: fmt::Write>(out: &mut W, levels: usize) -> fmt::Result {
+    for _ in 0..levels {
+        out.write_str("  ")?;
+    }
+    Ok(())
+}
+
+fn write_num<W: fmt::Write>(out: &mut W, x: f64) -> fmt::Result {
+    if !x.is_finite() {
+        out.write_str("null")
+    } else if x == x.trunc() && x.abs() < 9.007_199_254_740_992e15 {
+        write!(out, "{}", x as i64)
+    } else {
+        write!(out, "{x}")
+    }
+}
+
+fn write_escaped<W: fmt::Write>(out: &mut W, s: &str) -> fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -376,14 +468,58 @@ mod tests {
     #[test]
     fn integers_print_without_fraction() {
         let mut s = String::new();
-        write_num(&mut s, 1024.0);
+        write_num(&mut s, 1024.0).unwrap();
         assert_eq!(s, "1024");
         s.clear();
-        write_num(&mut s, 0.5);
+        write_num(&mut s, 0.5).unwrap();
         assert_eq!(s, "0.5");
         s.clear();
-        write_num(&mut s, f64::NAN);
+        write_num(&mut s, f64::NAN).unwrap();
         assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn streamed_pretty_matches_in_memory_bytes() {
+        // The contract `SweepReport::write_json` and the trace JSONL
+        // exporter rely on: streaming produces the exact bytes of the
+        // in-memory renderer, so swapping paths never perturbs committed
+        // artifacts.
+        let j = sample();
+        let mut buf = Vec::new();
+        j.write_pretty_to(&mut buf).unwrap();
+        assert_eq!(buf, j.to_string_pretty().into_bytes());
+    }
+
+    #[test]
+    fn streamed_compact_matches_and_round_trips() {
+        let j = sample();
+        let mut buf = Vec::new();
+        j.write_compact_to(&mut buf).unwrap();
+        assert_eq!(buf, j.to_string_compact().into_bytes());
+        let text = String::from_utf8(buf).unwrap();
+        assert!(!text.contains('\n'), "compact form must be one line");
+        assert_eq!(Json::parse(&text).unwrap(), j);
+    }
+
+    #[test]
+    fn compact_scalars_have_no_padding() {
+        let j = Json::obj(vec![("a", Json::Num(1.0)), ("b", Json::Arr(vec![]))]);
+        assert_eq!(j.to_string_compact(), r#"{"a":1,"b":[]}"#);
+    }
+
+    #[test]
+    fn streaming_surfaces_io_errors() {
+        struct Broken;
+        impl io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = sample().write_compact_to(Broken).unwrap_err();
+        assert_eq!(err.to_string(), "disk on fire");
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   transmission distribution, the baselines it compares against
 //!   (Elsässer–Gasieniec, Czumaj–Rytter, BGI Decay, flooding), and the
 //!   lower-bound harnesses (Observation 4.3, Theorem 4.4).
+//! * [`trace`] — per-round structured trace capture (`.rtrc`
+//!   recordings), replay verification, and first-divergence diffing for
+//!   differential debugging of engine runs.
 //! * [`stats`] — the statistics used by the experiment harness.
 //! * [`util`] — bit sets, deterministic RNG fan-out, text tables.
 //!
@@ -50,6 +53,7 @@ pub use radio_energy as energy;
 pub use radio_graph as graph;
 pub use radio_sim as sim;
 pub use radio_stats as stats;
+pub use radio_trace as trace;
 pub use radio_util as util;
 
 /// Scale knob for the `examples/`: returns `default / s`, clamped to at
@@ -57,7 +61,7 @@ pub use radio_util as util;
 /// variable (default 1, i.e. full size).
 ///
 /// The examples double as integration smoke tests
-/// (`tests/examples_smoke.rs` runs all seven with `s = 8` and a fixed
+/// (`tests/examples_smoke.rs` runs all eight with `s = 8` and a fixed
 /// seed); this keeps the demo sizes honest for humans while letting the
 /// test suite run them at toy sizes.
 pub fn example_scale(default: usize, min: usize) -> usize {
@@ -111,11 +115,16 @@ pub mod prelude {
         ImplicitGnp, ImplicitGrid, NodeId, Subgraph, Topology,
     };
     pub use radio_sim::{
-        run_dynamic, run_dynamic_energy, run_protocol_energy, run_protocol_fused,
-        run_protocol_fused_energy, CrashPlan, DecideStreams, EnergyRunResult, Engine, EngineConfig,
-        Faulty, FusedDecide, Metrics, Protocol, Sweep, SweepCell, SweepReport, TrialEnergy,
-        TrialResult,
+        run_dynamic, run_dynamic_energy, run_protocol_energy, run_protocol_energy_traced,
+        run_protocol_fused, run_protocol_fused_energy, run_protocol_fused_energy_traced,
+        run_protocol_fused_traced, run_protocol_traced, CrashPlan, DecideStreams, EnergyRunResult,
+        Engine, EngineConfig, Faulty, FusedDecide, Metrics, Protocol, RunResult, Sweep, SweepCell,
+        SweepReport, TracePlan, TrialEnergy, TrialResult,
     };
     pub use radio_stats::{mean, quantile, LinearFit, SummaryStats};
+    pub use radio_trace::{
+        first_divergence, header_diff, Divergence, EventDivergence, NullSink, Recording,
+        RecordingSink, ReplayVerifier, RingSink, RunHeader, TraceEvent, TraceSink,
+    };
     pub use radio_util::{derive_rng, BitSet, Json, SeedSequence, TextTable};
 }

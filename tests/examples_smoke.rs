@@ -3,7 +3,7 @@
 //! `cargo test` always *compiles* the examples but never runs them, so a
 //! demo can silently rot (panic on startup, hit a moved API's changed
 //! semantics, trip one of its own asserts) while the suite stays green.
-//! This test executes all seven example binaries with a fixed seed (each
+//! This test executes all eight example binaries with a fixed seed (each
 //! example hard-codes its own) and `ADHOC_RADIO_EXAMPLE_SCALE=8`, which
 //! shrinks their network sizes via [`adhoc_radio::example_scale`] so the
 //! debug-build runs stay fast.
@@ -15,7 +15,7 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: [&str; 7] = [
+const EXAMPLES: [&str; 8] = [
     "quickstart",
     "sensor_gossip",
     "emergency_broadcast",
@@ -23,6 +23,7 @@ const EXAMPLES: [&str; 7] = [
     "battery_lifetime",
     "collision_storm",
     "lower_bound_demo",
+    "trace_replay",
 ];
 
 /// `target/<profile>/examples`, derived from this test binary's own path
