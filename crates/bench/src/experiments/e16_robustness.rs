@@ -13,25 +13,26 @@
 //!   guarantee that a node crashing **and** depleting in the same round
 //!   is counted once (`CrashPlan::failed_by`).
 //!
-//! Ported to the `radio-sim` sweep API (it predated it): one sweep per
-//! part, scenario parameters encoded in the algorithm label, JSON in
+//! The sweeps are no longer hand-built here: both parts load committed
+//! scenario IR (`scenarios/e16_mobility.scenario.json`,
+//! `scenarios/e16_crash.scenario.json`) and run through the
+//! `radio-campaign` compiler — the declarative specs reproduce the
+//! historical hand-written sweeps byte-identically (the
+//! `scenario_fidelity` tests pin this). JSON lands at
 //! `results/sweep_e16_mobility.json` / `results/sweep_e16_crash.json`.
 
 use crate::common::{cell_extra, sweep_note};
 use crate::{Ctx, Report};
-use radio_core::broadcast::ee_general::GeneralBroadcastConfig;
-use radio_core::broadcast::ee_random::{EeBroadcastConfig, EeRandomBroadcast};
-use radio_core::broadcast::windowed::{ProbSource, WindowedBroadcast, WindowedSpec};
-use radio_core::gossip::{EeGossip, EeGossipConfig};
-use radio_core::seq::SharedSequence;
-use radio_energy::{Battery, EnergySession, LinearRadio};
-use radio_graph::generate::{mobile_geometric_sequence, GeoParams};
-use radio_graph::{DiGraph, GraphFamily, NodeId};
-use radio_sim::engine::{run_protocol, run_protocol_energy};
-use radio_sim::{CrashPlan, EngineConfig, Faulty, Protocol, Sweep, SweepCell, TrialResult};
-use radio_util::{derive_rng, split_seed, TextTable};
+use radio_campaign::{Compiled, Scenario};
+use radio_util::TextTable;
 
-/// Topology re-sample interval for the mobility runs, in rounds.
+/// The committed scenario IR for part (a).
+pub const MOBILITY_SPEC: &str = include_str!("../../../../scenarios/e16_mobility.scenario.json");
+/// The committed scenario IR for part (b).
+pub const CRASH_SPEC: &str = include_str!("../../../../scenarios/e16_crash.scenario.json");
+
+/// Topology re-sample interval for the mobility runs, in rounds (the
+/// value the committed spec carries; the table narrates it).
 const SWITCH_EVERY: u64 = 40;
 
 /// `"alg1_battery:f=0.3"` → `("alg1_battery", 0.3)`.
@@ -40,198 +41,24 @@ fn parse_label(label: &str) -> (&str, f64) {
     (alg, f.parse().expect("fraction"))
 }
 
-/// One mobility trial. The sweep hands us a static geometric snapshot;
-/// mobility needs the whole Brownian sequence, so the runner regenerates
-/// it from the trial seed (`cell.p` is the connection radius, σ rides in
-/// the label as `gossip:f=σ`).
-fn mobility_trial(cell: &SweepCell, _graph: &DiGraph, seed: u64) -> TrialResult {
-    let n = cell.n;
-    let (_, sigma) = parse_label(&cell.algorithm);
-    // G(n,p)-equivalent density for the gossip config: on the unit torus
-    // a radius-r disk holds π r² n expected neighbours, so p = π r².
-    let p_equiv = std::f64::consts::PI * cell.p * cell.p;
-    let cfg = EeGossipConfig {
-        gamma: 10.0,
-        tracked: Some(64),
-        ..EeGossipConfig::for_gnp(n, p_equiv)
-    };
-    let snapshots = (cfg.schedule_rounds() / SWITCH_EVERY + 2) as usize;
-    let graphs = mobile_geometric_sequence(
-        n,
-        cell.p,
-        sigma,
-        snapshots,
-        &mut derive_rng(seed, b"e16-mob", 0),
-    );
-    let refs: Vec<&DiGraph> = graphs.iter().collect();
-    let mut protocol = EeGossip::new(cfg);
-    let mut rng = derive_rng(seed, b"engine", 0);
-    let run = radio_sim::run_dynamic(
-        &refs,
-        SWITCH_EVERY,
-        &mut protocol,
-        EngineConfig::with_max_rounds(cfg.schedule_rounds() + 1),
-        &mut rng,
-    );
-    let time = protocol.gossip_time();
-    let mut t = TrialResult::from_run(&run, time.is_some(), protocol.informed_count()).extra(
-        "mean_msgs_per_node",
-        run.metrics.mean_transmissions_per_node(),
-    );
-    if let Some(gt) = time {
-        t = t.extra("gossip_time", gt as f64);
-    }
-    t
-}
-
-/// One crash/depletion trial. The doomed node set is drawn once per
-/// trial (fraction `f`, round 3, source spared) and then injected via
-/// the path named in the label.
-fn crash_trial(cell: &SweepCell, graph: &DiGraph, seed: u64) -> TrialResult {
-    let n = cell.n;
-    let (variant, frac) = parse_label(&cell.algorithm);
-    let plan =
-        CrashPlan::random_fraction(n, frac, 3, &mut derive_rng(seed, b"e16-crash", 0)).spare(0);
-    let survivors = plan.survivors();
-    // Battery equivalent of "crash at round 3": capacity 2 under unit
-    // drain depletes at the end of round 2 — dead from round 3 on.
-    let doomed_battery = || {
-        Battery::per_node(
-            (0..n)
-                .map(|v| {
-                    if plan.is_crashed(v as NodeId, u64::MAX) {
-                        2.0
-                    } else {
-                        f64::INFINITY
-                    }
-                })
-                .collect(),
-        )
-    };
-    let session = || {
-        EnergySession::new(
-            n,
-            LinearRadio::uniform_drain(1.0),
-            split_seed(seed, b"e16-bat", 0),
-        )
-        .with_battery(doomed_battery())
-    };
-
-    let a_cfg = EeBroadcastConfig::for_gnp(n, cell.p);
-    let engine_cfg = EngineConfig::with_max_rounds(a_cfg.schedule_end() + 2);
-    let survivor_frac = |p: &EeRandomBroadcast| {
-        let known = survivors
-            .iter()
-            .filter(|&&v| p.informed_round(v).is_some())
-            .count();
-        known as f64 / survivors.len().max(1) as f64
-    };
-
-    let (trial, frac_informed, failed) = match variant {
-        "alg1" => {
-            let mut p = Faulty::new(EeRandomBroadcast::new(n, 0, a_cfg), plan.clone());
-            let mut rng = derive_rng(seed, b"engine", 0);
-            let run = run_protocol(graph, &mut p, engine_cfg, &mut rng);
-            let fi = survivor_frac(p.inner());
-            let failed = plan.failed_by(run.rounds, &[]);
-            (
-                TrialResult::from_run(&run, fi >= 1.0, p.informed_count()),
-                fi,
-                failed,
-            )
-        }
-        "alg1_battery" => {
-            // Same doomed set, injected purely through depletion.
-            let mut p = EeRandomBroadcast::new(n, 0, a_cfg);
-            let mut rng = derive_rng(seed, b"engine", 0);
-            let mut s = session();
-            let run = run_protocol_energy(graph, &mut p, engine_cfg, &mut rng, &mut s);
-            let fi = survivor_frac(&p);
-            let failed = CrashPlan::none(n).failed_by(run.run.rounds, &run.energy.depleted_at);
-            let informed = p.informed_count();
-            (
-                TrialResult::from_energy_run(&run, fi >= 1.0, informed),
-                fi,
-                failed,
-            )
-        }
-        "alg1_both" => {
-            // Crash AND depletion injected on the *same* nodes: every
-            // doomed node fails through both paths, and the summary
-            // count must still be the doomed-set size, not twice it.
-            let mut p = Faulty::new(EeRandomBroadcast::new(n, 0, a_cfg), plan.clone());
-            let mut rng = derive_rng(seed, b"engine", 0);
-            let mut s = session();
-            let run = run_protocol_energy(graph, &mut p, engine_cfg, &mut rng, &mut s);
-            let fi = survivor_frac(p.inner());
-            let failed = plan.failed_by(run.run.rounds, &run.energy.depleted_at);
-            assert!(
-                run.run.rounds < 3 || failed == plan.crash_count(),
-                "dedup broken: {} failed via two paths over {} doomed nodes",
-                failed,
-                plan.crash_count()
-            );
-            let informed = p.informed_count();
-            (
-                TrialResult::from_energy_run(&run, fi >= 1.0, informed),
-                fi,
-                failed,
-            )
-        }
-        "alg3" => {
-            let g_cfg = GeneralBroadcastConfig::new(n, 6); // D ≈ 4–6 on this G(n,p)
-            let spec = WindowedSpec {
-                source: ProbSource::Shared(SharedSequence::new(
-                    g_cfg.distribution(),
-                    split_seed(seed, b"seq", 0),
-                )),
-                window: Some(g_cfg.window()),
-                early_stop: false,
-            };
-            let mut p = Faulty::new(WindowedBroadcast::new(n, 0, spec), plan.clone());
-            let mut rng = derive_rng(seed, b"engine3", 0);
-            let run = run_protocol(
-                graph,
-                &mut p,
-                EngineConfig::with_max_rounds(g_cfg.max_rounds()),
-                &mut rng,
-            );
-            let fi = survivors
-                .iter()
-                .filter(|&&v| p.inner().informed_round(v) != u64::MAX)
-                .count() as f64
-                / survivors.len().max(1) as f64;
-            let failed = plan.failed_by(run.rounds, &[]);
-            (
-                TrialResult::from_run(&run, fi >= 1.0, p.informed_count()),
-                fi,
-                failed,
-            )
-        }
-        other => unreachable!("unknown variant {other}"),
-    };
-    trial
-        .extra("survivor_informed_frac", frac_informed)
-        .extra("failed_nodes", failed as f64)
+/// Compile a committed spec, rescaling trials/seed from the context
+/// (at default scale the overrides equal the spec's own values, so the
+/// committed results stay byte-identical).
+fn compile(spec: &str, ctx: &Ctx, trials: usize, seed: u64) -> Compiled {
+    let scenario = Scenario::parse(spec).expect("committed scenario must validate");
+    let mut compiled = Compiled::new(scenario);
+    compiled.sweep_mut().trials = ctx.trials(trials, 4);
+    compiled.sweep_mut().base_seed = seed;
+    compiled
 }
 
 pub fn run(ctx: &Ctx) -> Report {
     let mut report = Report::new("e16", "E16 — extension: mobility and fail-stop robustness");
-    let trials = ctx.trials(10, 4);
 
     // --- (a) Gossip under mobility ---------------------------------------
-    let n = 512;
-    let r = GeoParams::with_expected_degree(n, 30.0).r_min;
-    let mut sw_mob = Sweep::new("e16_mobility", ctx.seed, trials);
-    for sigma in [0.0, 0.01, 0.05, 0.15] {
-        sw_mob.push(SweepCell::new(
-            format!("gossip:f={sigma}"),
-            GraphFamily::Geometric,
-            n,
-            r,
-        ));
-    }
-    let mob_report = sw_mob.run(mobility_trial);
+    let mob = compile(MOBILITY_SPEC, ctx, 10, ctx.seed);
+    let n = mob.scenario().cells[0].n;
+    let mob_report = mob.run_report();
 
     let mut t_a = TextTable::new(&[
         "mobility σ / snapshot",
@@ -264,20 +91,9 @@ pub fn run(ctx: &Ctx) -> Report {
     report.table(&t_a);
 
     // --- (b) Broadcast under fail-stop loss: crash vs battery paths -------
-    let n_b = 2048;
-    let p_b = 6.0 * (n_b as f64).ln() / n_b as f64;
-    let mut sw_crash = Sweep::new("e16_crash", ctx.seed ^ 0x16, trials);
-    for frac in [0.0, 0.3, 0.6, 0.8] {
-        for variant in ["alg1", "alg1_battery", "alg1_both", "alg3"] {
-            sw_crash.push(SweepCell::new(
-                format!("{variant}:f={frac}"),
-                GraphFamily::GnpDirected,
-                n_b,
-                p_b,
-            ));
-        }
-    }
-    let crash_report = sw_crash.run(crash_trial);
+    let crash = compile(CRASH_SPEC, ctx, 10, ctx.seed ^ 0x16);
+    let n_b = crash.scenario().cells[0].n;
+    let crash_report = crash.run_report();
 
     let mut t_b = TextTable::new(&[
         "loss fraction @ round 3",

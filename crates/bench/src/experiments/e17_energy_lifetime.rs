@@ -17,26 +17,22 @@
 //!   lifetime) and depleted-node counts. Algorithm 1's duty-cycling
 //!   (passive ⇒ radio off) outlives the always-listening baselines.
 //!
-//! JSON: `results/sweep_e17_energy.json`, `results/sweep_e17_lifetime.json`.
+//! Both sweeps load committed scenario IR
+//! (`scenarios/e17_energy.scenario.json`,
+//! `scenarios/e17_lifetime.scenario.json`) and run through the
+//! `radio-campaign` compiler, byte-identical to the historical
+//! hand-written sweeps. JSON: `results/sweep_e17_energy.json`,
+//! `results/sweep_e17_lifetime.json`.
 
 use crate::common::{cell_extra, sweep_note};
 use crate::{Ctx, Report};
-use radio_core::broadcast::decay::DecayConfig;
-use radio_core::broadcast::ee_random::{EeBroadcastConfig, EeRandomBroadcast};
-use radio_core::broadcast::flood::FloodConfig;
-use radio_core::broadcast::windowed::run_windowed_energy;
-use radio_energy::{Battery, EnergySession, LinearRadio};
-use radio_graph::{DiGraph, GraphFamily};
-use radio_sim::engine::run_protocol_energy;
-use radio_sim::{EngineConfig, Protocol, Sweep, SweepCell, TrialResult};
-use radio_util::{derive_rng, split_seed, TextTable};
+use radio_campaign::{Compiled, Scenario};
+use radio_util::TextTable;
 
-/// Listen/tx cost ratios swept in part (a).
-const RATIOS: [f64; 4] = [0.0, 0.01, 0.1, 1.0];
-/// Flooding's per-round transmit probability.
-const FLOOD_Q: f64 = 0.1;
-/// Diameter hint handed to Decay on these dense-ish topologies.
-const D_HINT: u32 = 8;
+/// The committed scenario IR for part (a).
+pub const ENERGY_SPEC: &str = include_str!("../../../../scenarios/e17_energy.scenario.json");
+/// The committed scenario IR for part (b).
+pub const LIFETIME_SPEC: &str = include_str!("../../../../scenarios/e17_lifetime.scenario.json");
 
 /// `"alg1:r=0.1"` → `("alg1", 0.1)`.
 fn parse_label(label: &str) -> (&str, f64) {
@@ -44,156 +40,24 @@ fn parse_label(label: &str) -> (&str, f64) {
     (alg, r.parse().expect("ratio"))
 }
 
-/// Equivalent `G(n,p)` edge probability for a generated topology, used to
-/// parameterise Algorithm 1 on the geometric family (it only needs a
-/// degree estimate, as in the sensor-field example).
-fn p_equiv(cell: &SweepCell, graph: &DiGraph) -> f64 {
-    match cell.family {
-        GraphFamily::GnpDirected => cell.p,
-        _ => (graph.m() as f64 / cell.n as f64) / cell.n as f64,
-    }
-}
-
-/// One part-(a) trial: run `alg` under the ρ-parameterised linear radio
-/// (infinite batteries) and report model-based energy.
-fn crossover_trial(cell: &SweepCell, graph: &DiGraph, seed: u64) -> TrialResult {
-    let n = cell.n;
-    let (alg, ratio) = parse_label(&cell.algorithm);
-    // Charge-to-cap: Algorithm 1 cannot detect completion, so any node
-    // still listening (uninformed, radio on) pays for the whole schedule
-    // even after the transmitters quiesce — the honest listen bill.
-    let mut session = EnergySession::new(
-        n,
-        LinearRadio::with_listen_ratio(ratio),
-        split_seed(seed, b"e17-energy", 0),
-    )
-    .with_charge_to_cap(true);
-    let out = match alg {
-        "alg1" => {
-            let cfg = EeBroadcastConfig::for_gnp(n, p_equiv(cell, graph));
-            let mut protocol = EeRandomBroadcast::new(n, 0, cfg);
-            let mut rng = derive_rng(seed, b"engine", 0);
-            let run = run_protocol_energy(
-                graph,
-                &mut protocol,
-                EngineConfig::with_max_rounds(cfg.schedule_end() + 2),
-                &mut rng,
-                &mut session,
-            );
-            let informed = protocol.informed_count();
-            return TrialResult::from_energy_run(&run, informed == n, informed)
-                .extra("energy_per_node", run.energy.mean_energy_per_node());
-        }
-        "flood" => {
-            // Genie-stopped probabilistic flooding: the most favourable
-            // accounting for the baseline (it stops paying the moment
-            // everyone is informed, which no real flood can detect).
-            let cfg = FloodConfig::with_prob(FLOOD_Q, DecayConfig::new(n, D_HINT).max_rounds());
-            run_windowed_energy(
-                graph,
-                0,
-                cfg.spec(),
-                EngineConfig::with_max_rounds(cfg.max_rounds),
-                seed,
-                &mut session,
-            )
-        }
-        "decay" => {
-            let cfg = DecayConfig::new(n, D_HINT); // early-stops
-            run_windowed_energy(
-                graph,
-                0,
-                cfg.spec(),
-                EngineConfig::with_max_rounds(cfg.max_rounds()),
-                seed,
-                &mut session,
-            )
-        }
-        other => unreachable!("unknown algorithm {other}"),
-    };
-    let energy_per_node = out
-        .energy
-        .as_ref()
-        .map_or(0.0, |e| e.mean_energy_per_node());
-    out.to_trial().extra("energy_per_node", energy_per_node)
-}
-
-/// One part-(b) trial: finite jittered batteries, ρ = 1 radio, fixed
-/// horizon, no early stopping — how long until the first battery dies,
-/// and how much of the network is dead by the end?
-fn lifetime_trial(cell: &SweepCell, graph: &DiGraph, seed: u64, horizon: u64) -> TrialResult {
-    let n = cell.n;
-    let capacity = 100.0;
-    let battery = Battery::jittered(n, capacity, 0.2, &mut derive_rng(seed, b"e17-battery", 0));
-    // Charge-to-cap: the mission horizon is fixed, so receivers that
-    // never power down keep draining after the protocol quiesces.
-    let mut session = EnergySession::new(
-        n,
-        LinearRadio::with_listen_ratio(1.0),
-        split_seed(seed, b"e17-life", 0),
-    )
-    .with_battery(battery)
-    .with_charge_to_cap(true);
-    let engine_cfg = EngineConfig::with_max_rounds(horizon);
-    let trial = match cell.algorithm.as_str() {
-        "alg1" => {
-            let cfg = EeBroadcastConfig::for_gnp(n, cell.p);
-            let mut protocol = EeRandomBroadcast::new(n, 0, cfg);
-            let mut rng = derive_rng(seed, b"engine", 0);
-            let run = run_protocol_energy(graph, &mut protocol, engine_cfg, &mut rng, &mut session);
-            let informed = protocol.informed_count();
-            TrialResult::from_energy_run(&run, informed == n, informed)
-        }
-        "flood" => {
-            // No early stop, no retirement: the classic always-listening
-            // flood burns its batteries for the whole horizon.
-            let cfg = FloodConfig {
-                early_stop: false,
-                ..FloodConfig::with_prob(FLOOD_Q, horizon)
-            };
-            run_windowed_energy(graph, 0, cfg.spec(), engine_cfg, seed, &mut session).to_trial()
-        }
-        "decay" => {
-            let cfg = DecayConfig {
-                early_stop: false,
-                ..DecayConfig::new(n, D_HINT)
-            };
-            run_windowed_energy(graph, 0, cfg.spec(), engine_cfg, seed, &mut session).to_trial()
-        }
-        other => unreachable!("unknown algorithm {other}"),
-    };
-    let depleted_frac = trial
-        .energy
-        .as_ref()
-        .map_or(0.0, |e| e.depleted as f64 / n as f64);
-    trial.extra("depleted_frac", depleted_frac)
+/// Compile a committed spec, rescaling trials/seed from the context (at
+/// default scale the overrides equal the spec's own values).
+fn compile(spec: &str, ctx: &Ctx, seed: u64) -> Compiled {
+    let scenario = Scenario::parse(spec).expect("committed scenario must validate");
+    let mut compiled = Compiled::new(scenario);
+    compiled.sweep_mut().trials = ctx.trials(12, 5);
+    compiled.sweep_mut().base_seed = seed;
+    compiled
 }
 
 pub fn run(ctx: &Ctx) -> Report {
     let mut report = Report::new("e17", "E17 — extension: listen-cost crossover and lifetime");
-    let trials = ctx.trials(12, 5);
-    let n = 512;
-    let gnp_p = 8.0 * (n as f64).ln() / n as f64;
-    let geo_r = radio_graph::generate::GeoParams::with_expected_degree(n, 30.0).r_min;
 
     // --- (a) listen/tx-ratio crossover -----------------------------------
-    let mut sw_energy = Sweep::new("e17_energy", ctx.seed, trials);
-    for (family, p) in [
-        (GraphFamily::GnpDirected, gnp_p),
-        (GraphFamily::Geometric, geo_r),
-    ] {
-        for &ratio in &RATIOS {
-            for alg in ["alg1", "flood", "decay"] {
-                sw_energy.push(SweepCell::new(
-                    format!("{alg}:r={ratio}"),
-                    family.clone(),
-                    n,
-                    p,
-                ));
-            }
-        }
-    }
-    let energy_report = sw_energy.run(crossover_trial);
+    let energy = compile(ENERGY_SPEC, ctx, ctx.seed);
+    let n = energy.scenario().cells[0].n;
+    let trials = energy.sweep().trials;
+    let energy_report = energy.run_report();
 
     let mut t_a = TextTable::new(&[
         "family",
@@ -240,12 +104,12 @@ pub fn run(ctx: &Ctx) -> Report {
     report.table(&t_a);
 
     // --- (b) network lifetime on finite batteries -------------------------
-    let horizon = 400u64;
-    let mut sw_life = Sweep::new("e17_lifetime", ctx.seed ^ 0x17, trials);
-    for alg in ["alg1", "flood", "decay"] {
-        sw_life.push(SweepCell::new(alg, GraphFamily::GnpDirected, n, gnp_p));
-    }
-    let life_report = sw_life.run(|cell, graph, seed| lifetime_trial(cell, graph, seed, horizon));
+    let life = compile(LIFETIME_SPEC, ctx, ctx.seed ^ 0x17);
+    let horizon = match life.scenario().protocols[0].1 {
+        radio_campaign::ProtocolSpec::EnergyLifetime { horizon, .. } => horizon,
+        _ => unreachable!("e17_lifetime carries energy_lifetime protocols"),
+    };
+    let life_report = life.run_report();
 
     let mut t_b = TextTable::new(&[
         "algorithm",

@@ -1,0 +1,38 @@
+//! # radio-campaign — declarative scenarios, compiled and checkpointed
+//!
+//! The campaign layer turns experiment *programs* into experiment
+//! *data*. A `.scenario.json` file is the IR: topology family ×
+//! protocol × energy model × sweep grid, validated with line-anchored
+//! and path-anchored errors ([`ir`]). A compiler lowers the validated
+//! spec onto the existing [`radio_sim::Sweep`] API with monomorphized
+//! dispatch over [`radio_graph::Topology`] backends ([`compile`],
+//! [`kernels`]). A runner executes the compiled sweep cell by cell
+//! with atomic per-cell checkpoints and resumes interrupted campaigns,
+//! refusing when the spec hash or code version changed ([`runner`],
+//! [`checkpoint`]).
+//!
+//! Three invariants hold end to end:
+//!
+//! 1. **Spec-identical means byte-identical.** Two specs whose
+//!    canonical forms hash equal produce byte-identical report JSON —
+//!    the bench e16/e17 experiments are committed as scenario files
+//!    and reproduce their hand-written predecessors' bytes exactly.
+//! 2. **Interruption-transparent.** Kill a campaign at any point;
+//!    resume produces the same report bytes as an uninterrupted run.
+//! 3. **Provenance-stamped.** Per-cell `.rtrc` recordings carry the
+//!    spec hash in their `code_version` header field, chaining every
+//!    trace back to the exact spec that produced it.
+//!
+//! The `campaign` binary exposes `validate` / `run` / `resume` /
+//! `status` over these layers.
+
+pub mod checkpoint;
+pub mod compile;
+pub mod ir;
+pub mod kernels;
+pub mod runner;
+
+pub use checkpoint::{Manifest, CODE_VERSION};
+pub use compile::Compiled;
+pub use ir::{Backend, CellSpec, ProtocolSpec, Scenario, SweepSpec, TraceSpec};
+pub use runner::Campaign;

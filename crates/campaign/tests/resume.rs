@@ -1,0 +1,126 @@
+//! Kill-and-resume integration: run a campaign, interrupt it mid-way
+//! (including a simulated crash that tears the in-flight state), resume,
+//! and demand the final report is byte-identical to an uninterrupted
+//! run. Also pins the refusal paths: changed spec hash, changed code
+//! version, fresh-into-existing and resume-into-empty.
+
+use radio_campaign::{Campaign, Manifest, Scenario};
+use std::path::PathBuf;
+
+const SPEC: &str = include_str!("../../../scenarios/smoke.scenario.json");
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("radio-resume-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn spec() -> Scenario {
+    Scenario::parse(SPEC).expect("committed smoke scenario must validate")
+}
+
+#[test]
+fn interrupted_campaign_resumes_to_byte_identical_report() {
+    // Reference: uninterrupted run.
+    let ref_dir = scratch("ref");
+    let mut reference = Campaign::fresh(spec(), &ref_dir).expect("fresh");
+    reference.run_all().expect("run");
+    let want = reference.report().expect("report").to_json_string();
+
+    // Interrupted run: two cells, then the process "dies".
+    let dir = scratch("interrupted");
+    let mut first = Campaign::fresh(spec(), &dir).expect("fresh");
+    assert_eq!(first.step().expect("step"), Some(0));
+    assert_eq!(first.step().expect("step"), Some(1));
+    drop(first); // the kill: no further steps, no report
+
+    // A new process resumes and finishes.
+    let mut resumed = Campaign::resume(spec(), &dir).expect("resume");
+    assert_eq!(resumed.remaining(), vec![2, 3]);
+    resumed.run_all().expect("finish");
+    let got = resumed.report().expect("report").to_json_string();
+    assert_eq!(got, want, "resumed report must be byte-identical");
+
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_between_cell_and_manifest_rolls_the_cell_back() {
+    // Simulate the torn state the write ordering permits: cell file on
+    // disk, manifest not yet updated — the cell must simply re-run.
+    let ref_dir = scratch("torn-ref");
+    let mut reference = Campaign::fresh(spec(), &ref_dir).expect("fresh");
+    reference.run_all().expect("run");
+    let want = reference.report().expect("report").to_json_string();
+
+    let dir = scratch("torn");
+    let mut first = Campaign::fresh(spec(), &dir).expect("fresh");
+    first.step().expect("step");
+    first.step().expect("step");
+    drop(first);
+    // Tear: manifest forgets cell 1 (as if the crash hit after the cell
+    // file landed but before the manifest rename), and the orphaned
+    // cell file is additionally truncated mid-byte.
+    let mut m = Manifest::load(&dir).expect("load").expect("present");
+    assert_eq!(m.completed, vec![0, 1]);
+    m.completed = vec![0];
+    m.store(&dir).expect("store");
+    let cell1 = radio_campaign::checkpoint::cell_path(&dir, 1);
+    let bytes = std::fs::read(&cell1).expect("cell file");
+    std::fs::write(&cell1, &bytes[..bytes.len() / 2]).expect("truncate");
+
+    let mut resumed = Campaign::resume(spec(), &dir).expect("resume");
+    assert_eq!(resumed.remaining(), vec![1, 2, 3], "cell 1 must re-run");
+    resumed.run_all().expect("finish");
+    let got = resumed.report().expect("report").to_json_string();
+    assert_eq!(got, want, "re-run cell must regenerate identical bytes");
+
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_refuses_spec_hash_and_code_version_mismatches() {
+    let dir = scratch("refuse");
+    let mut c = Campaign::fresh(spec(), &dir).expect("fresh");
+    c.step().expect("step");
+    drop(c);
+
+    // Spec drift: one value changed → different hash → refusal.
+    let drifted =
+        Scenario::parse(&SPEC.replace("\"base_seed\": 7", "\"base_seed\": 8")).expect("valid");
+    let err = Campaign::resume(drifted, &dir).unwrap_err();
+    assert!(err.contains("spec"), "got: {err}");
+
+    // Reformatting only: same hash → resume fine.
+    let reformatted: String = SPEC
+        .lines()
+        .map(str::trim_start)
+        .collect::<Vec<_>>()
+        .join("");
+    Campaign::resume(Scenario::parse(&reformatted).expect("valid"), &dir)
+        .expect("whitespace must not invalidate a checkpoint");
+
+    // Code-version drift → refusal.
+    let mut m = Manifest::load(&dir).expect("load").expect("present");
+    m.code_version = "0.0.0-other".to_string();
+    m.store(&dir).expect("store");
+    let err = Campaign::resume(spec(), &dir).unwrap_err();
+    assert!(err.contains("code version"), "got: {err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fresh_refuses_existing_manifest_and_resume_refuses_empty_dir() {
+    let dir = scratch("fresh-guard");
+    let _c = Campaign::fresh(spec(), &dir).expect("fresh");
+    let err = Campaign::fresh(spec(), &dir).unwrap_err();
+    assert!(err.contains("already holds"), "got: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let empty = scratch("empty");
+    let err = Campaign::resume(spec(), &empty).unwrap_err();
+    assert!(err.contains("no campaign manifest"), "got: {err}");
+}

@@ -434,6 +434,84 @@ impl Sweep {
         }
     }
 
+    /// [`Sweep::run_cell`] with rayon fan-out over the cell's trials —
+    /// the cell-granular execution hook the campaign runner drives: it
+    /// checkpoints between cells, so parallelism has to live *inside*
+    /// the cell. Seeds and aggregation are identical to `run_cell`
+    /// (trial seeds depend only on `(base_seed, cell, trial)`), so the
+    /// two produce bit-identical results.
+    ///
+    /// # Panics
+    /// Panics if `cell_index` is out of range.
+    pub fn run_cell_par<F>(&self, cell_index: usize, runner: &F) -> CellResults
+    where
+        F: Fn(&SweepCell, &DiGraph, u64) -> TrialResult + Sync,
+    {
+        assert!(cell_index < self.cells.len(), "cell index out of range");
+        if self.threads_per_run > 1 {
+            // Run-level parallelism owns the cores (see
+            // `with_threads_per_run`): keep the trial loop serial.
+            return self.run_cell(cell_index, runner);
+        }
+        CellResults {
+            cell: self.cells[cell_index].clone(),
+            trials: (0..self.trials)
+                .into_par_iter()
+                .map(|t| self.one_trial(cell_index * self.trials + t, runner))
+                .collect(),
+        }
+    }
+
+    /// [`Sweep::run_cell`] without the machinery-side graph generation:
+    /// the runner receives only `(cell, trial_seed)` and owns topology
+    /// construction. This is the hook for backends the sweep cannot
+    /// build — a campaign cell on an implicit topology generates an
+    /// [`ImplicitGrid`](radio_graph::ImplicitGrid) from
+    /// `derive_rng(seed, b"sweep-graph", 0)` (the exact stream
+    /// `run_cell` would have fed the CSR generator, so the two backends
+    /// see identical position draws) instead of materializing a CSR
+    /// graph it can't afford.
+    ///
+    /// # Panics
+    /// Panics if `cell_index` is out of range.
+    pub fn run_cell_raw<F>(&self, cell_index: usize, runner: &F) -> CellResults
+    where
+        F: Fn(&SweepCell, u64) -> TrialResult + Sync,
+    {
+        assert!(cell_index < self.cells.len(), "cell index out of range");
+        let cell = &self.cells[cell_index];
+        CellResults {
+            cell: cell.clone(),
+            trials: (0..self.trials)
+                .map(|t| runner(cell, self.trial_seed(cell_index, t)))
+                .collect(),
+        }
+    }
+
+    /// [`Sweep::run_cell_raw`] with rayon fan-out over trials —
+    /// bit-identical results (trial seeds depend only on
+    /// `(base_seed, cell, trial)`).
+    ///
+    /// # Panics
+    /// Panics if `cell_index` is out of range.
+    pub fn run_cell_raw_par<F>(&self, cell_index: usize, runner: &F) -> CellResults
+    where
+        F: Fn(&SweepCell, u64) -> TrialResult + Sync,
+    {
+        assert!(cell_index < self.cells.len(), "cell index out of range");
+        if self.threads_per_run > 1 {
+            return self.run_cell_raw(cell_index, runner);
+        }
+        let cell = &self.cells[cell_index];
+        CellResults {
+            cell: cell.clone(),
+            trials: (0..self.trials)
+                .into_par_iter()
+                .map(|t| runner(cell, self.trial_seed(cell_index, t)))
+                .collect(),
+        }
+    }
+
     /// Aggregate raw results (e.g. from [`Sweep::collect`]) into a report.
     pub fn report(&self, results: &[CellResults]) -> SweepReport {
         SweepReport {
@@ -562,12 +640,13 @@ impl SweepReport {
     }
 
     /// Write `sweep_<name>.json` under `dir` (created if missing) and
-    /// return the path.
+    /// return the path. The write is atomic (temp file + rename via
+    /// [`radio_util::write_atomic`]), so an interrupted campaign never
+    /// leaves a torn report — readers see the old complete file or the
+    /// new one.
     pub fn write_json(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
-        let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("sweep_{}.json", self.name));
-        std::fs::write(&path, self.to_json_string())?;
+        let path = dir.as_ref().join(format!("sweep_{}.json", self.name));
+        radio_util::write_atomic(&path, self.to_json_string())?;
         Ok(path)
     }
 
@@ -604,14 +683,18 @@ impl SweepReport {
 ///
 /// `open` is thread-safe (sweeps fan trials out over rayon); the cap
 /// check and the slot claim are one atomic step, so concurrent trials
-/// of the same cell never over-record. I/O failures are reported to
-/// stderr and yield `None` — a broken trace directory degrades a sweep
-/// to untraced, it never fails it.
+/// of the same cell never over-record. I/O failures degrade, never
+/// fail: `open` warns once per plan on stderr, counts the failure in
+/// [`degraded`](TracePlan::degraded), releases the claimed slot (a
+/// later trial may succeed and use the budget), and yields `None` — a
+/// broken trace directory turns a sweep untraced, it never aborts it.
 #[derive(Debug)]
 pub struct TracePlan {
     dir: PathBuf,
     per_cell_cap: usize,
     counts: std::sync::Mutex<std::collections::HashMap<String, usize>>,
+    code_version: Option<String>,
+    degraded: std::sync::atomic::AtomicUsize,
 }
 
 impl TracePlan {
@@ -622,7 +705,19 @@ impl TracePlan {
             dir: dir.into(),
             per_cell_cap,
             counts: std::sync::Mutex::new(std::collections::HashMap::new()),
+            code_version: None,
+            degraded: std::sync::atomic::AtomicUsize::new(0),
         }
+    }
+
+    /// Stamp `code_version` into every recording's
+    /// [`RunHeader`](radio_trace::RunHeader) instead of the crate
+    /// version — the campaign runner passes the scenario spec hash
+    /// here, chaining every `.rtrc` back to the exact spec that
+    /// produced it.
+    pub fn with_code_version(mut self, version: impl Into<String>) -> Self {
+        self.code_version = Some(version.into());
+        self
     }
 
     /// The trace directory.
@@ -633,6 +728,13 @@ impl TracePlan {
     /// Total recordings opened so far.
     pub fn recorded(&self) -> usize {
         self.counts.lock().expect("trace-plan lock").values().sum()
+    }
+
+    /// Recordings that failed to open on I/O errors (capture degraded
+    /// to untraced for those trials). Non-zero means the warning was
+    /// printed and some traces are missing.
+    pub fn degraded(&self) -> usize {
+        self.degraded.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Claim a recording slot for `(cell, seed)` and open the sink, or
@@ -656,14 +758,17 @@ impl TracePlan {
         );
         {
             let mut counts = self.counts.lock().expect("trace-plan lock");
-            let slot = counts.entry(key).or_insert(0);
+            let slot = counts.entry(key.clone()).or_insert(0);
             if *slot >= self.per_cell_cap {
                 return None;
             }
             *slot += 1;
         }
         let topology = format!("{}/n={}/p={}", cell.family.label(), cell.n, cell.p);
-        let header = radio_trace::RunHeader::new(seed, engine, topology);
+        let mut header = radio_trace::RunHeader::new(seed, engine, topology);
+        if let Some(v) = &self.code_version {
+            header.code_version = v.clone();
+        }
         let file = format!(
             "{}-{}-n{}-p{}-s{}.rtrc",
             cell.algorithm,
@@ -675,11 +780,24 @@ impl TracePlan {
         match radio_trace::RecordingSink::create(self.dir.join(file), &header) {
             Ok(sink) => Some(sink),
             Err(e) => {
-                eprintln!(
-                    "radio-sim: trace capture disabled for this trial \
-                     (cannot create recording under {}: {e})",
-                    self.dir.display()
-                );
+                // Give the slot back: the failure consumed no recording,
+                // and the directory may become writable again.
+                if let Ok(mut counts) = self.counts.lock() {
+                    if let Some(slot) = counts.get_mut(&key) {
+                        *slot = slot.saturating_sub(1);
+                    }
+                }
+                let prior = self
+                    .degraded
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if prior == 0 {
+                    eprintln!(
+                        "radio-sim: warning: trace capture degraded — cannot create \
+                         recording under {}: {e} (further failures suppressed; \
+                         affected trials run untraced)",
+                        self.dir.display()
+                    );
+                }
                 None
             }
         }
@@ -859,6 +977,98 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("readable");
         assert!(Json::parse(&text).is_ok());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_cell_matches_collect_and_par_matches_serial() {
+        let sw = small_sweep();
+        let by_collect = sw.collect(flood_runner);
+        for (idx, collected) in by_collect.iter().enumerate() {
+            let serial = sw.run_cell(idx, &flood_runner);
+            let par = sw.run_cell_par(idx, &flood_runner);
+            assert_eq!(serial.trials, collected.trials, "cell {idx}");
+            assert_eq!(par.trials, serial.trials, "cell {idx} par");
+        }
+        // Feeding run_cell_par outputs to report() reproduces run().
+        let cells: Vec<CellResults> = (0..sw.cells().len())
+            .map(|i| sw.run_cell_par(i, &flood_runner))
+            .collect();
+        assert_eq!(
+            sw.report(&cells).to_json_string(),
+            sw.run(flood_runner).to_json_string()
+        );
+        // A raw runner that replays the machinery's graph stream is
+        // indistinguishable from the graph-generating path.
+        let raw_runner = |cell: &SweepCell, seed: u64| {
+            let graph =
+                cell.family
+                    .generate(cell.n, cell.p, &mut derive_rng(seed, b"sweep-graph", 0));
+            flood_runner(cell, &graph, seed)
+        };
+        assert_eq!(sw.run_cell_raw(0, &raw_runner).trials, by_collect[0].trials);
+        assert_eq!(
+            sw.run_cell_raw_par(2, &raw_runner).trials,
+            by_collect[2].trials
+        );
+    }
+
+    #[test]
+    fn write_json_replaces_atomically_without_temp_litter() {
+        let dir = std::env::temp_dir().join(format!("sweep-atomic-{}", std::process::id()));
+        let sw = Sweep::new("atomic", 7, 2);
+        let report = sw.run(flood_runner);
+        report.write_json(&dir).expect("first write");
+        let path = report.write_json(&dir).expect("overwrite");
+        assert!(Json::parse(&std::fs::read_to_string(&path).unwrap()).is_ok());
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["sweep_atomic.json"],
+            "no temp litter: {names:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_plan_stamps_code_version_into_headers() {
+        let dir = std::env::temp_dir().join(format!("sweep-traces-cv-{}", std::process::id()));
+        let plan = TracePlan::new(&dir, 1).with_code_version("spec:deadbeef");
+        let cell = SweepCell::new("flood", GraphFamily::GnpDirected, 16, 0.2);
+        plan.open(&cell, 5, "v2")
+            .expect("slot")
+            .finish(false)
+            .expect("footer");
+        let rec =
+            radio_trace::Recording::read_from(dir.join("flood-gnp_directed-n16-p0.2-s5.rtrc"))
+                .expect("readable");
+        assert_eq!(rec.header.code_version, "spec:deadbeef");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_plan_degrades_and_releases_slot_on_io_failure() {
+        let base = std::env::temp_dir().join(format!("sweep-degraded-{}", std::process::id()));
+        std::fs::create_dir_all(&base).expect("scratch dir");
+        // A regular file where the trace directory should be makes every
+        // create fail.
+        let blocked = base.join("not-a-dir");
+        std::fs::write(&blocked, "blocker").expect("blocker file");
+        let plan = TracePlan::new(blocked.join("traces"), 1);
+        let cell = SweepCell::new("flood", GraphFamily::GnpDirected, 16, 0.2);
+        assert!(plan.open(&cell, 1, "v1").is_none());
+        assert!(plan.open(&cell, 2, "v1").is_none());
+        assert_eq!(plan.degraded(), 2, "both failures counted");
+        assert_eq!(plan.recorded(), 0, "failed opens must not consume slots");
+        // Same cap budget on a working plan still records up to the cap —
+        // the failures above didn't burn it (fresh plan, same semantics).
+        let plan_ok = TracePlan::new(base.join("traces"), 1);
+        assert!(plan_ok.open(&cell, 3, "v1").is_some());
+        assert!(plan_ok.open(&cell, 4, "v1").is_none(), "cap still enforced");
+        assert_eq!(plan_ok.degraded(), 0);
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Atomic file writes: the crash-safety primitive every on-disk
+//! artifact in the workspace goes through.
+//!
+//! `write_atomic` writes to a temporary sibling and renames it into
+//! place, so readers (and a campaign resuming after an interrupt) see
+//! either the old complete file or the new complete file — never a
+//! torn prefix. The rename is atomic on POSIX filesystems when source
+//! and destination share a directory, which the sibling placement
+//! guarantees.
+
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process uniquifier so concurrent writers (sweep threads, a
+/// campaign runner and its trace plan) never collide on a temp name.
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Write `contents` to `path` atomically: create missing parent
+/// directories, write a temporary sibling (`.<name>.<pid>.<n>.tmp`),
+/// fsync-free flush, then rename over `path`. On any failure the temp
+/// file is removed and `path` is left untouched (old contents intact).
+pub fn write_atomic(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::other(format!("write_atomic: no file name in {path:?}")))?;
+    let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let tmp_name = format!(".{}.{}.{n}.tmp", name.to_string_lossy(), std::process::id());
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_ref())?;
+        f.flush()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("radio-fsio-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_new_file_and_creates_parents() {
+        let dir = scratch("new");
+        let path = dir.join("a/b/out.json");
+        write_atomic(&path, b"{}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{}");
+        // No temp siblings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers.len(), 1, "leftovers: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replaces_existing_contents() {
+        let dir = scratch("replace");
+        let path = dir.join("out.json");
+        write_atomic(&path, "old").unwrap();
+        write_atomic(&path, "new contents").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new contents");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failure_leaves_target_untouched_and_no_temp() {
+        let dir = scratch("fail");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blocker");
+        std::fs::write(&path, "original").unwrap();
+        // A regular file where the parent directory should be forces
+        // create_dir_all (and hence the write) to fail.
+        let inner = path.join("child.json");
+        assert!(write_atomic(&inner, "x").is_err());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "original");
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["blocker"], "no temp litter: {names:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn no_file_name_is_an_error() {
+        assert!(write_atomic("/", "x").is_err());
+    }
+}

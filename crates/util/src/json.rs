@@ -60,6 +60,35 @@ impl Json {
         }
     }
 
+    /// [`Json::get`] with a path-context error: schema validators (the
+    /// campaign scenario IR) thread the JSON path of `self` through
+    /// `path`, so a missing key reports *where* in the document it was
+    /// expected (```spec.cells[3]`: missing required key `n` ``) instead
+    /// of a bare key name.
+    pub fn get_or_err(&self, key: &str, path: &str) -> Result<&Json, String> {
+        match self {
+            Json::Obj(_) => self
+                .get(key)
+                .ok_or_else(|| format!("`{path}`: missing required key `{key}`")),
+            other => Err(format!(
+                "`{path}`: expected an object with key `{key}`, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    /// The JSON type name, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "a boolean",
+            Json::Num(_) => "a number",
+            Json::Str(_) => "a string",
+            Json::Arr(_) => "an array",
+            Json::Obj(_) => "an object",
+        }
+    }
+
     /// The boolean value, if this is a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
@@ -72,6 +101,20 @@ impl Json {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned integer: a non-negative [`Json::Num`]
+    /// with no fractional part, within the f64-exact range (≤ 2⁵³).
+    /// Anything else — negative, fractional, too large to be exact, or a
+    /// non-number — is `None`, so counts and indices never silently
+    /// truncate.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && *x <= 9.007_199_254_740_992e15 && x.trunc() == *x => {
+                Some(*x as u64)
+            }
             _ => None,
         }
     }
@@ -188,16 +231,58 @@ impl Json {
 
     /// Parse a JSON document (the subset this module writes, which is all
     /// of standard JSON except exotic escapes beyond `\uXXXX`).
+    ///
+    /// Errors are **line-anchored** — `line 3, col 14: expected ':'` —
+    /// so a hand-edited scenario file points its author at the offending
+    /// line, not a byte offset into the document.
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing content at byte {pos}"));
-        }
-        Ok(value)
+        let result = (|| {
+            let value = parse_value(bytes, &mut pos)?;
+            skip_ws(bytes, &mut pos);
+            if pos != bytes.len() {
+                return Err(perr(pos, "trailing content"));
+            }
+            Ok(value)
+        })();
+        result.map_err(|e| {
+            let (line, col) = line_col(bytes, e.pos);
+            format!("line {line}, col {col}: {}", e.msg)
+        })
     }
+}
+
+/// A parse failure at a byte offset; [`Json::parse`] renders it
+/// line-anchored.
+struct ParseErr {
+    msg: String,
+    pos: usize,
+}
+
+fn perr(pos: usize, msg: impl Into<String>) -> ParseErr {
+    ParseErr {
+        msg: msg.into(),
+        pos,
+    }
+}
+
+/// 1-based `(line, column)` of byte offset `pos` (clamped to the end of
+/// input). Columns count bytes, which equals characters for the ASCII
+/// documents this module writes.
+fn line_col(bytes: &[u8], pos: usize) -> (usize, usize) {
+    let pos = pos.min(bytes.len());
+    let mut line = 1;
+    let mut col = 1;
+    for &b in &bytes[..pos] {
+        if b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
 }
 
 /// Bridges [`fmt::Write`] (what the recursive writer speaks) onto an
@@ -277,10 +362,10 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseErr> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
+        None => Err(perr(*pos, "unexpected end of input")),
         Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
         Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
@@ -302,9 +387,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                         *pos += 1;
                         return Ok(Json::Arr(items));
                     }
-                    other => {
-                        return Err(format!("expected ',' or ']' at byte {pos}, got {other:?}"))
-                    }
+                    other => return Err(perr(*pos, format!("expected ',' or ']', got {other:?}"))),
                 }
             }
         }
@@ -321,7 +404,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 let key = parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
                 if bytes.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {pos}"));
+                    return Err(perr(*pos, "expected ':'"));
                 }
                 *pos += 1;
                 let value = parse_value(bytes, pos)?;
@@ -334,7 +417,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                         return Ok(Json::Obj(pairs));
                     }
                     other => {
-                        return Err(format!("expected ',' or '}}' at byte {pos}, got {other:?}"))
+                        return Err(perr(*pos, format!("expected ',' or '}}', got {other:?}")))
                     }
                 }
             }
@@ -343,30 +426,35 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, ParseErr> {
     if bytes[*pos..].starts_with(lit.as_bytes()) {
         *pos += lit.len();
         Ok(value)
     } else {
-        Err(format!("invalid literal at byte {pos}"))
+        Err(perr(*pos, "invalid literal"))
     }
 }
 
-fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
-    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
-    u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
-        .map_err(|e| e.to_string())
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, ParseErr> {
+    let hex = bytes
+        .get(at..at + 4)
+        .ok_or_else(|| perr(at, "truncated \\u escape"))?;
+    u32::from_str_radix(
+        std::str::from_utf8(hex).map_err(|e| perr(at, e.to_string()))?,
+        16,
+    )
+    .map_err(|e| perr(at, e.to_string()))
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseErr> {
     if bytes.get(*pos) != Some(&b'"') {
-        return Err(format!("expected string at byte {pos}"));
+        return Err(perr(*pos, "expected string"));
     }
     *pos += 1;
     let mut s = String::new();
     loop {
         match bytes.get(*pos) {
-            None => return Err("unterminated string".to_string()),
+            None => return Err(perr(*pos, "unterminated string")),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(s);
@@ -387,27 +475,34 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                             // High surrogate: standard JSON encodes astral
                             // characters as a \uXXXX\uXXXX pair.
                             if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u") {
-                                return Err("high surrogate without \\u low surrogate".into());
+                                return Err(perr(*pos, "high surrogate without \\u low surrogate"));
                             }
                             let low = parse_hex4(bytes, *pos + 3)?;
                             if !(0xDC00..0xE000).contains(&low) {
-                                return Err(format!("invalid low surrogate {low:#06x}"));
+                                return Err(perr(
+                                    *pos,
+                                    format!("invalid low surrogate {low:#06x}"),
+                                ));
                             }
                             *pos += 6;
                             0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
                         } else {
                             code
                         };
-                        s.push(char::from_u32(scalar).ok_or("invalid \\u code point")?);
+                        s.push(
+                            char::from_u32(scalar)
+                                .ok_or_else(|| perr(*pos, "invalid \\u code point"))?,
+                        );
                     }
-                    other => return Err(format!("bad escape {other:?}")),
+                    other => return Err(perr(*pos, format!("bad escape {other:?}"))),
                 }
                 *pos += 1;
             }
             Some(_) => {
                 // Consume one UTF-8 scalar (bytes are valid UTF-8: the
                 // input is a &str).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|e| perr(*pos, e.to_string()))?;
                 let c = rest.chars().next().expect("non-empty");
                 s.push(c);
                 *pos += c.len_utf8();
@@ -416,7 +511,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseErr> {
     let start = *pos;
     while *pos < bytes.len()
         && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
@@ -424,10 +519,10 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         *pos += 1;
     }
     std::str::from_utf8(&bytes[start..*pos])
-        .map_err(|e| e.to_string())?
+        .map_err(|e| perr(start, e.to_string()))?
         .parse::<f64>()
         .map(Json::Num)
-        .map_err(|_| format!("invalid number at byte {start}"))
+        .map_err(|_| perr(start, "invalid number"))
 }
 
 #[cfg(test)]
@@ -568,5 +663,66 @@ mod tests {
         assert_eq!(j.get("name").and_then(Json::as_str), Some("sweep"));
         assert!(j.get("missing").is_none());
         assert!(Json::Null.get("x").is_none());
+    }
+
+    #[test]
+    fn as_u64_accepts_exact_non_negative_integers() {
+        assert_eq!(Json::Num(0.0).as_u64(), Some(0));
+        assert_eq!(Json::Num(1024.0).as_u64(), Some(1024));
+        assert_eq!(Json::Num(9.007_199_254_740_992e15).as_u64(), Some(1 << 53));
+    }
+
+    #[test]
+    fn as_u64_rejects_every_inexact_shape() {
+        assert_eq!(Json::Num(-1.0).as_u64(), None, "negative");
+        assert_eq!(Json::Num(1.5).as_u64(), None, "fractional");
+        assert_eq!(Json::Num(1e18).as_u64(), None, "beyond 2^53");
+        assert_eq!(Json::Num(f64::NAN).as_u64(), None, "NaN");
+        assert_eq!(Json::Num(f64::INFINITY).as_u64(), None, "infinity");
+        assert_eq!(Json::str("7").as_u64(), None, "string");
+        assert_eq!(Json::Null.as_u64(), None, "null");
+    }
+
+    #[test]
+    fn get_or_err_reports_the_json_path() {
+        let j = sample();
+        assert_eq!(j.get_or_err("seed", "spec").unwrap().as_f64(), Some(42.0));
+        let err = j.get_or_err("nope", "spec.cells[3]").unwrap_err();
+        assert_eq!(err, "`spec.cells[3]`: missing required key `nope`");
+    }
+
+    #[test]
+    fn get_or_err_on_non_object_names_the_actual_type() {
+        let err = Json::Arr(vec![]).get_or_err("k", "spec.grid").unwrap_err();
+        assert_eq!(
+            err,
+            "`spec.grid`: expected an object with key `k`, got an array"
+        );
+        let err = Json::Null.get_or_err("k", "root").unwrap_err();
+        assert_eq!(err, "`root`: expected an object with key `k`, got null");
+    }
+
+    #[test]
+    fn parse_errors_are_line_anchored() {
+        // Missing ':' on line 3 (after the two header lines).
+        let doc = "{\n  \"a\": 1,\n  \"b\" 2\n}\n";
+        let err = Json::parse(doc).unwrap_err();
+        assert!(err.starts_with("line 3, col "), "got: {err}");
+        assert!(err.contains("expected ':'"), "got: {err}");
+
+        // Trailing content after the document.
+        let err = Json::parse("{}\n[]").unwrap_err();
+        assert!(
+            err.starts_with("line 2, col 1: trailing content"),
+            "got: {err}"
+        );
+
+        // Bad literal, single-line: column points at the token.
+        let err = Json::parse("[true, nul]").unwrap_err();
+        assert!(err.starts_with("line 1, col 8:"), "got: {err}");
+
+        // End-of-input anchors to the end, not past it.
+        let err = Json::parse("{\"a\":").unwrap_err();
+        assert!(err.starts_with("line 1, col 6:"), "got: {err}");
     }
 }

@@ -9,13 +9,17 @@
 //!   derives independent streams for trials, nodes and shared sequences.
 //! * [`table`] — plain-text aligned tables used by the experiment harness
 //!   to print paper-style result tables.
+//! * [`fsio`] — atomic temp-file-then-rename writes, so interrupted
+//!   processes never leave torn reports or checkpoints on disk.
 
 pub mod bitset;
+pub mod fsio;
 pub mod json;
 pub mod rng;
 pub mod table;
 
 pub use bitset::BitSet;
+pub use fsio::write_atomic;
 pub use json::Json;
 pub use rng::{derive_rng, split_seed, SeedSequence};
 pub use table::TextTable;
