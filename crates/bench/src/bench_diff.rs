@@ -86,12 +86,17 @@ impl Default for DiffConfig {
 }
 
 /// Worker count a thread-scaling bench key declares
-/// (`"engine_par/8t/10000"` → 8); `None` for ordinary keys.
+/// (`"engine_par/8t/10000"` → 8, `"scatter_phase/grid/8t/10000"` → 8);
+/// `None` for ordinary keys. The `<digits>t` token may sit in any
+/// `/`-segment — groups that fan out per backend put it third.
 pub fn id_threads(key: &str) -> Option<u64> {
-    key.split('/')
-        .nth(1)?
-        .strip_suffix('t')
-        .and_then(|d| d.parse().ok())
+    key.split('/').find_map(|seg| {
+        let digits = seg.strip_suffix('t')?;
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        digits.parse().ok()
+    })
 }
 
 /// Compare `current` against `baseline` under `cfg`. Findings come out
@@ -303,8 +308,12 @@ mod tests {
     fn id_threads_parses_only_thread_ids() {
         assert_eq!(id_threads("engine_par/8t/10000"), Some(8));
         assert_eq!(id_threads("engine_fused/1t/10000"), Some(1));
+        assert_eq!(id_threads("scatter_phase/grid/8t/10000"), Some(8));
+        assert_eq!(id_threads("scatter_phase/csr/1t/10000"), Some(1));
         assert_eq!(id_threads("engine_csr/gnp/10000"), None);
         assert_eq!(id_threads("decide_phase/v2_warm/10000"), None);
+        // A bare "t" segment is not a thread id.
+        assert_eq!(id_threads("weird/t/10000"), None);
     }
 
     fn profile(threads: Option<u64>, provisional: bool, key: &str) -> BaselineProfile {

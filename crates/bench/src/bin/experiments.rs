@@ -52,7 +52,7 @@ fn main() {
         for w in &wanted {
             match reg.iter().find(|(id, _)| id == w) {
                 Some(e) => sel.push(*e),
-                None => die(&format!("unknown experiment `{w}` (try e1..e18 or all)")),
+                None => die(&format!("unknown experiment `{w}` (try e1..e18, e18i, or all)")),
             }
         }
         sel
@@ -69,7 +69,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: experiments [--quick] [--seed N] [--out DIR] <e1..e18 | all>...\n\
+        "usage: experiments [--quick] [--seed N] [--out DIR] <e1..e18 | e18i | all>...\n\
          Regenerates the paper's tables/figures; see DESIGN.md §5 for the index."
     );
 }

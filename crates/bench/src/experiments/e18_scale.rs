@@ -468,7 +468,11 @@ pub fn run_implicit_section(
     let trials = ctx.trials(2, 1);
     let root = ctx.seed ^ 0x18;
 
-    let mut t = TextTable::new(&[
+    // With more than one worker the table grows a scaling pair: trial 0
+    // re-timed at 1 thread, and the resulting speedup. Wall-clock (both
+    // columns) stays markdown-only — the JSON below carries neither.
+    let scaling = threads > 1;
+    let mut headers = vec![
         "backend",
         "algorithm",
         "n",
@@ -478,7 +482,12 @@ pub fn run_implicit_section(
         "msgs/node",
         "max msgs/node",
         "wall s/trial",
-    ]);
+    ];
+    if scaling {
+        headers.push("wall 1t s/trial");
+        headers.push("speedup");
+    }
+    let mut t = TextTable::new(&headers);
     let mut cells_json: Vec<Json> = Vec::new();
 
     let mut cell_idx: u64 = 0;
@@ -500,6 +509,17 @@ pub fn run_implicit_section(
                 }
                 let secs = start.elapsed().as_secs_f64();
                 let wall = secs / trials as f64;
+                // Scaling column: re-time trial 0 serially. The result
+                // is discarded (it is bit-identical to the threaded
+                // trial 0 by the engine's determinism contract — the
+                // cross-thread smoke test pins that); only the clock
+                // matters here.
+                let wall_1t = scaling.then(|| {
+                    let seed = split_seed(root, b"e18i-trial", cell_idx << 16);
+                    let start = std::time::Instant::now();
+                    let _ = graph.trial(alg, d / n as f64, seed, 1);
+                    start.elapsed().as_secs_f64()
+                });
                 eprintln!(
                     "e18 implicit: {} {} n=2^{exp} done in {secs:.1}s ({trials} trials)",
                     family.label(),
@@ -517,7 +537,7 @@ pub fn run_implicit_section(
                     .map(|r| r.max_transmissions_per_node)
                     .max()
                     .unwrap_or(0);
-                t.row(&[
+                let mut row = vec![
                     family.label().to_string(),
                     alg.to_string(),
                     format!("2^{exp}"),
@@ -527,7 +547,12 @@ pub fn run_implicit_section(
                     format!("{:.3}", msgs / n as f64),
                     format!("{max_per_node}"),
                     format!("{wall:.2}"),
-                ]);
+                ];
+                if let Some(w1) = wall_1t {
+                    row.push(format!("{w1:.2}"));
+                    row.push(format!("{:.2}x", w1 / wall.max(1e-9)));
+                }
+                t.row(&row);
                 // Wall-clock stays out of the JSON so the bytes remain a
                 // pure function of (seed, range) — thread-count
                 // independent, like the CSR sweep's artifact.
@@ -565,6 +590,23 @@ pub fn run_implicit_section(
          bit-identical across thread counts: rows are pure functions of \
          the backend value, so every worker sees the same neighbor sets."
     ));
+    if scaling {
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        report.para(format!(
+            "The scatter here takes the engine's **transmitter-sharded** \
+             parallel path (picked by the `Auto` plan from the backends' \
+             `RangeQueryCost::FullRowReplay` hint): each worker generates \
+             its shard's rows exactly once and a deterministic \
+             receiver-keyed merge reproduces the serial outcome. The \
+             `wall 1t` column re-times the first trial of each cell with \
+             one worker; `speedup` is `wall 1t / wall s/trial`. Recorded \
+             on a {cores}-core host with {threads} worker(s) per run — \
+             on a single core the sharded fan-out can only cost (spawn + \
+             merge overhead, speedup ≤ 1); the ≥ 3× bar lives in \
+             `BENCH_baseline.json`'s provisional multi-core profile and \
+             the `--ignored` acceptance test."
+        ));
+    }
     report.table(&t);
 
     let json = Json::obj(vec![
@@ -646,5 +688,40 @@ pub fn run(ctx: &Ctx) -> Report {
         );
         run_implicit_section(ctx, &mut report, imin as u32, imax as u32, threads.max(1));
     }
+    report
+}
+
+/// The implicit-backend section as its own experiment (`e18i`): the
+/// committed scaling artifact for the transmitter-sharded scatter
+/// without re-running E18's CSR sweeps (whose committed JSON must stay
+/// byte-stable). Defaults are sized so `results/e18_implicit.md` +
+/// `sweep_e18_implicit.json` regenerate in minutes on one core; the
+/// same `ADHOC_RADIO_E18_IMPLICIT_{MIN,MAX}_EXP` /
+/// `ADHOC_RADIO_E18_THREADS` knobs scale it up. With > 1 worker the
+/// table carries the `wall 1t` / `speedup` pair — the committed view of
+/// what the sharded path buys (or costs, on a single core).
+pub fn run_implicit_only(ctx: &Ctx) -> Report {
+    let imin = env_usize("ADHOC_RADIO_E18_IMPLICIT_MIN_EXP", 14);
+    let imax = env_usize("ADHOC_RADIO_E18_IMPLICIT_MAX_EXP", 16);
+    assert!(
+        (4..=IMPLICIT_MAX_EXP_BOUND).contains(&imin)
+            && (4..=IMPLICIT_MAX_EXP_BOUND).contains(&imax),
+        "ADHOC_RADIO_E18_IMPLICIT_MIN_EXP/MAX_EXP must lie in \
+         4..={IMPLICIT_MAX_EXP_BOUND} (got {imin}/{imax})"
+    );
+    assert!(
+        imin <= imax,
+        "ADHOC_RADIO_E18_IMPLICIT_MIN_EXP ({imin}) must be ≤ \
+         ADHOC_RADIO_E18_IMPLICIT_MAX_EXP ({imax})"
+    );
+    let threads = env_usize(
+        "ADHOC_RADIO_E18_THREADS",
+        std::thread::available_parallelism().map_or(1, |p| p.get().min(8)),
+    );
+    let mut report = Report::new(
+        "e18_implicit",
+        "E18i — implicit backends: transmitter-sharded scatter scaling",
+    );
+    run_implicit_section(ctx, &mut report, imin as u32, imax as u32, threads.max(1));
     report
 }

@@ -108,6 +108,70 @@ fn fused_8t_beats_1t_wall_clock_at_2_pow_16() {
     );
 }
 
+/// The transmitter-sharded scatter's acceptance bar: on an *implicit*
+/// backend — where the receiver-range partition would replay every row
+/// per worker and lose to serial — the fused engine at 8 threads must
+/// beat 1 thread wall-clock at `n = 2²⁰` on a multi-core host. The
+/// `Auto` scatter plan routes `ImplicitGnp` to the shard path via its
+/// `RangeQueryCost::FullRowReplay` hint, so this drives exactly the
+/// emit + receiver-keyed-merge machinery. On a single-core host the
+/// speedup assertion skips (bit-identity is still checked — there is
+/// nothing to win, and `BENCH_baseline.json`'s provisional
+/// `host_threads: 8` profile carries the ≥3× expectation until a
+/// multi-core runner records real numbers). Ignored by default — run in
+/// release:
+/// `cargo test --release -p radio-bench --test e18_smoke -- --ignored`.
+#[test]
+#[ignore = "release-mode perf acceptance; needs a multi-core host; run with -- --ignored"]
+fn implicit_shard_8t_beats_1t_wall_clock_at_2_pow_20() {
+    use radio_core::broadcast::windowed::{ProbSource, WindowedBroadcast, WindowedSpec};
+    use radio_graph::ImplicitGnp;
+    use radio_sim::{Engine, EngineConfig};
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let n = 1usize << 20;
+    let d = 8.0 * (n as f64).ln();
+    let t = ImplicitGnp::with_expected_degree(n, d, 0xF20);
+    // Scatter-heavy steady state: a fixed transmit probability with no
+    // early stop keeps a few thousand transmitters scattering every
+    // round for the whole horizon — the phase the shard partition
+    // parallelises (implicit row generation is the per-edge cost).
+    let spec = || WindowedSpec {
+        source: ProbSource::Fixed(0.005),
+        window: None,
+        early_stop: false,
+    };
+    let mut eng = Engine::new(&t, EngineConfig::with_max_rounds(40));
+    let mut time_at = |threads: usize| {
+        let mut best = f64::INFINITY;
+        let mut reference = None;
+        for _ in 0..3 {
+            let mut proto = WindowedBroadcast::new(n, 0, spec());
+            let start = std::time::Instant::now();
+            let res = eng.run_fused_par(&mut proto, 0xF20, threads);
+            best = best.min(start.elapsed().as_secs_f64());
+            let fp = (res.rounds, res.metrics.total_transmissions());
+            match &reference {
+                None => reference = Some(fp),
+                Some(r) => assert_eq!(*r, fp, "fused run diverged across repeats"),
+            }
+        }
+        (best, reference.expect("ran"))
+    };
+    let (t1, fp1) = time_at(1);
+    let (t8, fp8) = time_at(8);
+    assert_eq!(fp1, fp8, "1t vs 8t sharded runs diverged at n = 2^20");
+    eprintln!("implicit shard 1t: {t1:.3}s, 8t: {t8:.3}s on {cores} core(s)");
+    if cores < 2 {
+        eprintln!("single-core host: skipping the speedup assertion");
+        return;
+    }
+    assert!(
+        t8 < t1,
+        "sharded 8t ({t8:.3}s) must beat 1t ({t1:.3}s) on a {cores}-core host"
+    );
+}
+
 #[test]
 fn e18_runs_at_smoke_scale_and_emits_deterministic_json() {
     let dir = std::env::temp_dir().join(format!("e18-smoke-{}", std::process::id()));

@@ -33,7 +33,7 @@ pub use builder::GraphBuilder;
 pub use components::{induced_subgraph, largest_scc, strongly_connected_components, Subgraph};
 pub use csr::Csr;
 pub use generate::GraphFamily;
-pub use topology::{GridIndex, ImplicitGnp, ImplicitGrid, Topology};
+pub use topology::{GridIndex, ImplicitGnp, ImplicitGrid, RangeQueryCost, Topology};
 
 /// Node identifier. `u32` keeps adjacency arrays compact (the perf guides'
 /// "smaller integers" advice); 4 × 10⁹ nodes is far beyond any simulation

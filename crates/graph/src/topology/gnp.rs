@@ -4,9 +4,11 @@
 //! The trick is the one `radio_sim::DecideStreams` introduced for the
 //! v2 determinism contract, applied to the *graph* instead of the coin
 //! flips: row `u` of the adjacency matrix is a pure function of
-//! `(graph_seed, u)`. Asking for `u`'s out-neighbors seeds a fresh
-//! ChaCha8 stream with `split_seed(graph_seed, b"gnp-row", u)` and
-//! replays the Batagelj–Brandes geometric-skip walk over the `n − 1`
+//! `(graph_seed, u)`. Asking for `u`'s out-neighbors keys a fresh
+//! ChaCha8 stream with `split_seed(graph_seed, b"gnp-row", u)` — the
+//! label half cached at construction, so the per-query cost is two
+//! SplitMix64 rounds and a key expansion — and replays the
+//! Batagelj–Brandes geometric-skip walk over the `n − 1`
 //! possible targets — O(expected degree) time, zero bytes stored. Two
 //! queries for the same row, from any thread, in any order, always see
 //! the same edge set, which is exactly what the engine's
@@ -21,11 +23,10 @@
 
 use crate::generate::edge_capacity;
 use crate::generate::gnp::geometric_skip;
-use crate::topology::Topology;
+use crate::topology::{RangeQueryCost, Topology};
 use crate::{DiGraph, NodeId};
-use radio_util::split_seed;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use radio_util::{split_seed_indexed, split_seed_prefix};
+use rand_chacha::{key_words_from_u64, ChaCha8Rng};
 
 /// Implicit directed `G(n, p)` topology: O(1) memory, rows sampled on
 /// demand as pure functions of `(graph_seed, row)`.
@@ -37,6 +38,11 @@ pub struct ImplicitGnp {
     /// Cached `ln(1 − p)` for the geometric skip (−∞ when `p == 1`,
     /// but that case short-circuits to the complete row).
     log1mp: f64,
+    /// Cached `split_seed_prefix(graph_seed, b"gnp-row")`: a pure
+    /// function of `graph_seed`, hoisted so a row query hashes only the
+    /// row index, not the label bytes. (Safe under the derived
+    /// `PartialEq`: equal seeds always carry equal prefixes.)
+    row_key_prefix: u64,
 }
 
 impl ImplicitGnp {
@@ -53,6 +59,7 @@ impl ImplicitGnp {
             p,
             graph_seed,
             log1mp: (1.0 - p).ln(),
+            row_key_prefix: split_seed_prefix(graph_seed, b"gnp-row"),
         }
     }
 
@@ -80,9 +87,64 @@ impl ImplicitGnp {
     }
 
     /// The per-row stream: deterministic in `(graph_seed, u)` only.
+    ///
+    /// Fast path: the `b"gnp-row"` label hash is cached at construction
+    /// (`row_key_prefix`), so keying a row costs two SplitMix64 rounds
+    /// plus the `key_words_from_u64` expansion — the exact composition
+    /// `seed_from_u64(split_seed(graph_seed, b"gnp-row", u))` performs,
+    /// minus the per-query label walk. Stream-equality is pinned by
+    /// `fast_row_keying_matches_seed_from_u64_of_split_seed` below.
     #[inline]
     fn row_rng(&self, u: NodeId) -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(split_seed(self.graph_seed, b"gnp-row", u64::from(u)))
+        let seed = split_seed_indexed(self.row_key_prefix, u64::from(u));
+        ChaCha8Rng::from_key_words(key_words_from_u64(seed))
+    }
+
+    /// A reusable per-row sampling cursor for callers that walk many
+    /// rows back to back (one per scatter worker); see
+    /// [`GnpRowSampler`].
+    #[inline]
+    pub fn row_sampler(&self) -> GnpRowSampler<'_> {
+        GnpRowSampler { gnp: self }
+    }
+
+    /// Shared row walk: visit row `u` by driving `rng` (already keyed
+    /// for `u`) through the geometric-skip slots. Degenerate cases
+    /// (`p ∈ {0, 1}`, `n < 2`) are the caller's job — both callers
+    /// short-circuit them before keying a stream.
+    fn walk_row<F: FnMut(NodeId)>(&self, rng: &mut ChaCha8Rng, u: NodeId, mut f: F) {
+        // Skip-walk the n − 1 non-self slots of row u. Slot s maps to
+        // target s if s < u else s + 1, so targets ascend and never
+        // equal u — the same linear indexing as `gnp_directed`.
+        let slots = (self.n - 1) as u64;
+        let mut s = geometric_skip(rng, self.log1mp);
+        while s < slots {
+            let v = if s < u64::from(u) {
+                s as NodeId
+            } else {
+                s as NodeId + 1
+            };
+            f(v);
+            s = s.saturating_add(1 + geometric_skip(rng, self.log1mp));
+        }
+    }
+
+    /// Handle the row shapes that need no stream: returns `true` when
+    /// the row was fully emitted (or is empty) without sampling.
+    #[inline]
+    fn emit_degenerate<F: FnMut(NodeId)>(&self, u: NodeId, f: &mut F) -> bool {
+        if self.n < 2 || self.p <= 0.0 {
+            return true;
+        }
+        if self.p >= 1.0 {
+            for v in 0..self.n as NodeId {
+                if v != u {
+                    f(v);
+                }
+            }
+            return true;
+        }
+        false
     }
 
     /// Materialize the full CSR graph — the O(m) test oracle. Rows are
@@ -110,32 +172,11 @@ impl Topology for ImplicitGnp {
     }
 
     fn for_each_out<F: FnMut(NodeId)>(&self, u: NodeId, mut f: F) {
-        if self.n < 2 || self.p <= 0.0 {
+        if self.emit_degenerate(u, &mut f) {
             return;
         }
-        if self.p >= 1.0 {
-            for v in 0..self.n as NodeId {
-                if v != u {
-                    f(v);
-                }
-            }
-            return;
-        }
-        // Skip-walk the n − 1 non-self slots of row u. Slot s maps to
-        // target s if s < u else s + 1, so targets ascend and never
-        // equal u — the same linear indexing as `gnp_directed`.
-        let slots = (self.n - 1) as u64;
         let mut rng = self.row_rng(u);
-        let mut s = geometric_skip(&mut rng, self.log1mp);
-        while s < slots {
-            let v = if s < u64::from(u) {
-                s as NodeId
-            } else {
-                s as NodeId + 1
-            };
-            f(v);
-            s = s.saturating_add(1 + geometric_skip(&mut rng, self.log1mp));
-        }
+        self.walk_row(&mut rng, u, f);
     }
 
     #[inline]
@@ -148,6 +189,39 @@ impl Topology for ImplicitGnp {
                 f(v);
             }
         });
+    }
+
+    /// Range queries replay the whole row (above): tell the engine to
+    /// shard by transmitter, not by receiver range.
+    #[inline]
+    fn range_query_cost(&self) -> RangeQueryCost {
+        RangeQueryCost::FullRowReplay
+    }
+}
+
+/// A reusable per-row sampling cursor over an [`ImplicitGnp`].
+///
+/// `sample(u, f)` visits exactly what `Topology::for_each_out(u, f)`
+/// visits. The cursor is the seam for workers that walk thousands of
+/// rows back to back (the engine's transmitter-sharded scatter): every
+/// row is keyed from the cached label prefix straight into a
+/// stack-allocated ChaCha8 generator, so the whole walk performs no
+/// heap allocation and no per-query label hashing. (`&mut self` keeps
+/// room for cached cursor state without an API break.)
+#[derive(Debug, Clone)]
+pub struct GnpRowSampler<'g> {
+    gnp: &'g ImplicitGnp,
+}
+
+impl GnpRowSampler<'_> {
+    /// Visit row `u`, identically to `Topology::for_each_out`.
+    #[inline]
+    pub fn sample<F: FnMut(NodeId)>(&mut self, u: NodeId, mut f: F) {
+        if self.gnp.emit_degenerate(u, &mut f) {
+            return;
+        }
+        let mut rng = self.gnp.row_rng(u);
+        self.gnp.walk_row(&mut rng, u, f);
     }
 }
 
@@ -257,6 +331,42 @@ mod tests {
         let total: u64 = (0..1000).map(|u| t.degree_hint(u)).sum();
         let m = t.materialize().m() as u64;
         assert!(total >= m / 2 && total <= m * 2, "hint {total} vs m {m}");
+    }
+
+    /// The cached-prefix keying must reproduce the original derivation
+    /// (`ChaCha8Rng::seed_from_u64(split_seed(graph_seed, b"gnp-row", u))`)
+    /// word for word — equal seeds must keep giving the same graph
+    /// across this optimisation.
+    #[test]
+    fn fast_row_keying_matches_seed_from_u64_of_split_seed() {
+        use rand_chacha::rand_core::{RngCore, SeedableRng};
+        for graph_seed in [0u64, 7, 0xDEAD_BEEF_CAFE_F00D] {
+            let t = ImplicitGnp::new(1 << 10, 0.01, graph_seed);
+            for u in [0u32, 1, 511, 1023] {
+                let mut fast = t.row_rng(u);
+                let mut slow = ChaCha8Rng::seed_from_u64(radio_util::split_seed(
+                    graph_seed,
+                    b"gnp-row",
+                    u64::from(u),
+                ));
+                for _ in 0..32 {
+                    assert_eq!(fast.next_u32(), slow.next_u32(), "seed {graph_seed} row {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_sampler_matches_for_each_out() {
+        for (n, p) in [(400usize, 0.03), (64, 0.0), (64, 1.0), (1, 0.5)] {
+            let t = ImplicitGnp::new(n, p, 21);
+            let mut sampler = t.row_sampler();
+            for u in 0..n as NodeId {
+                let mut via_sampler = Vec::new();
+                sampler.sample(u, |v| via_sampler.push(v));
+                assert_eq!(via_sampler, row(&t, u), "n {n} p {p} u {u}");
+            }
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@
 
 use crate::generate::edge_capacity;
 use crate::generate::geometric::torus_dist2;
-use crate::topology::Topology;
+use crate::topology::{RangeQueryCost, Topology};
 use crate::{DiGraph, GraphBuilder, NodeId};
 use rand::{Rng, RngExt};
 
@@ -278,6 +278,13 @@ impl Topology for ImplicitGrid {
                 }
             }
         });
+    }
+
+    /// Range queries rescan every candidate bucket (above): tell the
+    /// engine to shard by transmitter, not by receiver range.
+    #[inline]
+    fn range_query_cost(&self) -> RangeQueryCost {
+        RangeQueryCost::FullRowReplay
     }
 }
 

@@ -34,18 +34,44 @@
 //! it — see [`grid`].)
 //!
 //! Implicit backends answer range queries by regenerating the full row
-//! and filtering, so a `t`-way partitioned scatter costs O(t·deg)
-//! regeneration work instead of CSR's O(deg + t·log deg) — the price of
-//! not storing the row. Rows are pure functions of the backend value,
-//! so partitioned scatter stays bit-identical for every thread count.
+//! and filtering, so a `t`-way *receiver-range* partitioned scatter
+//! costs O(t·deg) regeneration work instead of CSR's
+//! O(deg + t·log deg) — the price of not storing the row. Backends
+//! advertise this through [`Topology::range_query_cost`]: the engine
+//! keeps the receiver-range partition where narrowing is cheap
+//! ([`RangeQueryCost::Narrowed`], CSR) and switches to a
+//! transmitter-sharded partition — each row generated exactly once,
+//! hits merged deterministically — where a range query replays the
+//! whole row ([`RangeQueryCost::FullRowReplay`], both implicit
+//! backends). Rows are pure functions of the backend value, so either
+//! partition stays bit-identical for every thread count.
 
 pub mod gnp;
 pub mod grid;
 
-pub use gnp::ImplicitGnp;
+pub use gnp::{GnpRowSampler, ImplicitGnp};
 pub use grid::{GridIndex, ImplicitGrid};
 
 use crate::{DiGraph, NodeId};
+
+/// What a [`Topology::for_each_out_range`] query costs relative to the
+/// full row — the capability hint the engine's scatter phase uses to
+/// pick its partition strategy (see the module docs).
+///
+/// This is a *performance* hint only: it must never affect which
+/// neighbors a query visits, so a wrong value costs speed, not
+/// correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeQueryCost {
+    /// The backend narrows to `[lo, hi)` without touching the rest of
+    /// the row (CSR: two binary searches). Receiver-range partitioning
+    /// is cheap.
+    Narrowed,
+    /// The backend answers a range query by regenerating the whole row
+    /// and filtering, so `t` range workers pay `t×` the generation
+    /// work. Prefer transmitter-sharded partitioning.
+    FullRowReplay,
+}
 
 /// A directed radio topology, addressed purely through out-neighbor
 /// queries (`u → v` means "`v` hears `u`").
@@ -68,6 +94,14 @@ pub trait Topology: Sync {
     /// Visit exactly the out-neighbors `v` of `u` with `lo ≤ v < hi`,
     /// in the same relative order as [`for_each_out`](Self::for_each_out).
     fn for_each_out_range<F: FnMut(NodeId)>(&self, u: NodeId, lo: NodeId, hi: NodeId, f: F);
+
+    /// How much a range query costs relative to the full row; must not
+    /// affect results. Defaults to [`RangeQueryCost::Narrowed`] —
+    /// backends whose range queries replay the whole row should
+    /// override.
+    fn range_query_cost(&self) -> RangeQueryCost {
+        RangeQueryCost::Narrowed
+    }
 }
 
 impl Topology for DiGraph {
@@ -145,6 +179,16 @@ mod tests {
                 assert_eq!(part, want);
             }
         }
+    }
+
+    #[test]
+    fn range_query_cost_hints_per_backend() {
+        let g = gnp_directed(50, 0.1, &mut derive_rng(34, b"topo", 0));
+        assert_eq!(g.range_query_cost(), RangeQueryCost::Narrowed);
+        let gnp = ImplicitGnp::new(50, 0.1, 9);
+        assert_eq!(gnp.range_query_cost(), RangeQueryCost::FullRowReplay);
+        let grid = ImplicitGrid::generate(50, 0.3, &mut derive_rng(34, b"topo", 1));
+        assert_eq!(grid.range_query_cost(), RangeQueryCost::FullRowReplay);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::metrics::{EnergyMetrics, Metrics, RoundRecord, Trace};
 use crate::streams::DecideStreams;
 use crate::{Action, FusedDecide, Protocol};
 use radio_energy::{Duty, EnergySession};
-use radio_graph::{DiGraph, NodeId, Topology};
+use radio_graph::{DiGraph, NodeId, RangeQueryCost, Topology};
 use radio_trace::{NullSink, TraceEvent, TraceSink};
 use rand_chacha::ChaCha8Rng;
 
@@ -32,12 +32,29 @@ pub struct EngineConfig {
     /// [`Engine::run_par`] for the determinism contract.
     pub threads: usize,
     /// Minimum per-round edge volume (Σ out-degree over the round's
-    /// transmitters) before the scatter fans out; below it the round
-    /// stays serial because scoped-thread spawn overhead would beat any
-    /// cache-miss savings. Purely a performance threshold — both paths
-    /// compute identical state, so it never affects results. Tests force
-    /// the parallel path with `0`.
+    /// transmitters) before the **receiver-range** scatter fans out;
+    /// below it the round stays serial because scoped-thread spawn
+    /// overhead would beat any cache-miss savings. Purely a performance
+    /// threshold — both paths compute identical state, so it never
+    /// affects results. Tests force the parallel path with `0`.
     pub par_min_edges: u64,
+    /// Minimum per-round edge volume before the **transmitter-sharded**
+    /// scatter fans out (the strategy picked for
+    /// [`RangeQueryCost::FullRowReplay`] backends). Lower than
+    /// [`par_min_edges`]: on implicit backends `degree_hint` is an
+    /// upper-bound estimate and each edge carries row-*regeneration*
+    /// work, so the fan-out pays for its spawns sooner. Purely a
+    /// performance threshold, like [`par_min_edges`]; tests force the
+    /// parallel path with `0`.
+    ///
+    /// [`par_min_edges`]: EngineConfig::par_min_edges
+    pub par_min_edges_implicit: u64,
+    /// Which parallel scatter partition to use when a round fans out;
+    /// `Auto` (the default) picks per backend via
+    /// [`Topology::range_query_cost`]. Every strategy produces
+    /// bit-identical results — the overrides exist for tests and
+    /// benchmarks that pin one path.
+    pub scatter_strategy: ScatterStrategy,
     /// Minimum awake-list length before the **fused** engine's decide
     /// phase ([`Engine::run_fused`]) fans out; below it the round's
     /// decisions are evaluated serially. Like [`par_min_edges`] this is
@@ -58,6 +75,8 @@ impl Default for EngineConfig {
             warn_on_round_cap: true,
             threads: 1,
             par_min_edges: PAR_SCATTER_MIN_EDGES,
+            par_min_edges_implicit: PAR_SCATTER_MIN_EDGES_IMPLICIT,
+            scatter_strategy: ScatterStrategy::Auto,
             par_min_awake: PAR_DECIDE_MIN_AWAKE,
         }
     }
@@ -100,6 +119,37 @@ impl EngineConfig {
         self.threads = threads;
         self
     }
+
+    /// Pin the parallel scatter partition strategy (chainable). Results
+    /// are bit-identical under every strategy; this exists for tests
+    /// and benches that must exercise one specific path.
+    pub fn with_scatter_strategy(mut self, strategy: ScatterStrategy) -> Self {
+        self.scatter_strategy = strategy;
+        self
+    }
+}
+
+/// Which partition the parallel scatter phase uses when a round's edge
+/// volume justifies fanning out. All strategies compute identical
+/// `hits`/`touched` state — see [`Engine::run_par`]'s determinism
+/// contract — so this knob can trade speed but never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScatterStrategy {
+    /// Pick per backend from [`Topology::range_query_cost`]:
+    /// receiver-range where range queries narrow cheaply (CSR),
+    /// transmitter-sharded where they replay the full row (implicit
+    /// backends). The default.
+    Auto,
+    /// Always partition by receiver id range: each worker owns a
+    /// `hits` range and asks the topology for in-range neighbors of
+    /// every transmitter. Optimal for CSR (two binary searches per
+    /// row); O(t·edges) row regeneration on implicit backends.
+    ReceiverRange,
+    /// Always partition by transmitter shard: each worker generates its
+    /// own transmitters' rows exactly once — O(edges) total — and emits
+    /// `(receiver, transmitter)` hit records that a deterministic
+    /// receiver-keyed merge resolves to the serial outcome.
+    TransmitterShard,
 }
 
 /// Result of one simulation run.
@@ -229,10 +279,87 @@ const HIT_NEVER: HitRecord = HitRecord {
 /// Default for [`EngineConfig::par_min_edges`].
 const PAR_SCATTER_MIN_EDGES: u64 = 8_192;
 
+/// Default for [`EngineConfig::par_min_edges_implicit`]. Implicit rows
+/// cost generation work per edge (a ChaCha draw or a bucket scan, not a
+/// cache-line read), so the scoped-thread spawns amortize at roughly a
+/// quarter of the CSR threshold.
+const PAR_SCATTER_MIN_EDGES_IMPLICIT: u64 = 2_048;
+
 /// Default for [`EngineConfig::par_min_awake`]: a per-node ChaCha
 /// positioning + block costs ~50–100 ns, so a few thousand awake nodes
 /// amortize the per-round scoped-thread spawns comfortably.
 const PAR_DECIDE_MIN_AWAKE: usize = 2_048;
+
+/// The resolved decision for one scatter round: which path runs, with
+/// how many workers. Produced by [`scatter_plan`]; public so the path
+/// selection is unit-testable without driving a full run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScatterPlan {
+    /// Below the strategy's edge threshold (or nothing to fan out):
+    /// one transmitter-order pass on the calling thread.
+    Serial,
+    /// Receiver-range partition over `threads` workers.
+    ReceiverRange {
+        /// Worker count, capped at the node count.
+        threads: usize,
+    },
+    /// Transmitter-sharded emit + receiver-keyed merge over `threads`
+    /// workers.
+    TransmitterShard {
+        /// Worker count, capped at the node and transmitter counts.
+        threads: usize,
+    },
+}
+
+/// Pick the scatter path for one round — a pure function of the config,
+/// the backend's [`RangeQueryCost`] hint, and the round's shape, so the
+/// heuristic is testable in isolation. Strategy first ([`Auto`] resolves
+/// via the cost hint), then that strategy's own edge threshold: implicit
+/// backends gate on [`par_min_edges_implicit`] because their
+/// `degree_hint` is an upper-bound estimate and every edge carries
+/// generation work, CSR on [`par_min_edges`]. Never affects results —
+/// every plan computes identical `hits`/`touched` state.
+///
+/// [`Auto`]: ScatterStrategy::Auto
+/// [`par_min_edges`]: EngineConfig::par_min_edges
+/// [`par_min_edges_implicit`]: EngineConfig::par_min_edges_implicit
+pub fn scatter_plan(
+    cfg: &EngineConfig,
+    cost: RangeQueryCost,
+    threads: usize,
+    n: usize,
+    transmitters: usize,
+    edges: u64,
+) -> ScatterPlan {
+    if threads <= 1 || transmitters <= 1 || n == 0 {
+        return ScatterPlan::Serial;
+    }
+    let shard = match cfg.scatter_strategy {
+        ScatterStrategy::Auto => cost == RangeQueryCost::FullRowReplay,
+        ScatterStrategy::ReceiverRange => false,
+        ScatterStrategy::TransmitterShard => true,
+    };
+    let min_edges = if shard {
+        cfg.par_min_edges_implicit
+    } else {
+        cfg.par_min_edges
+    };
+    if edges < min_edges {
+        return ScatterPlan::Serial;
+    }
+    if shard {
+        // More workers than transmitters would leave some idle with
+        // empty shards; more than n would leave merge ranges empty.
+        // (≥ 2 transmitters implies n ≥ 2, so this stays ≥ 2.)
+        ScatterPlan::TransmitterShard {
+            threads: threads.min(n).min(transmitters),
+        }
+    } else {
+        ScatterPlan::ReceiverRange {
+            threads: threads.min(n),
+        }
+    }
+}
 
 /// A non-silent outcome of the fused decide phase, tagged onto the node
 /// it belongs to. Workers emit `(node, event)` pairs in awake-list order;
@@ -383,6 +510,12 @@ pub struct Engine<'g, T: Topology = DiGraph> {
     /// collects only receivers from its own id range, kept sorted), so
     /// rounds allocate nothing after the first parallel round.
     par_touched: Vec<Vec<NodeId>>,
+    /// `(receiver, transmitter)` hit buckets of the transmitter-sharded
+    /// scatter, indexed `[emit worker][receiver range]` and pooled like
+    /// every other scratch: the emit phase fills `shard_hits[w][r]` with
+    /// worker `w`'s hits landing in receiver range `r`, the merge phase
+    /// drains column `r` in worker order (= serial transmitter order).
+    shard_hits: Vec<Vec<Vec<(NodeId, NodeId)>>>,
     /// Authoritative awake flags (pooled across runs).
     is_awake: Vec<bool>,
     /// Membership flags for `awake_list` — `in_list[v] && !is_awake[v]`
@@ -417,6 +550,7 @@ impl<'g, T: Topology> Engine<'g, T> {
             sent: vec![0; n],
             touched: Vec::with_capacity(n),
             par_touched: Vec::new(),
+            shard_hits: Vec::new(),
             is_awake: vec![false; n],
             in_list: vec![false; n],
             awake_list: Vec::with_capacity(n),
@@ -451,13 +585,22 @@ impl<'g, T: Topology> Engine<'g, T> {
     ///
     /// The round loop stays serial where randomness lives (the per-node
     /// `decide` draws and the ascending-receiver delivery sweep); only
-    /// the scatter/collision-count phase fans out, partitioned by
-    /// **receiver id range**: each worker streams the full transmitter
-    /// list over the CSR rows but writes [`HitRecord`]s only for its
-    /// disjoint node range. No merge step, no atomics, and the delivery
-    /// order (ascending receiver id) is unchanged, so serial and
-    /// N-thread runs are bit-identical *by construction* — the same
-    /// guarantee the sweep layer gives for trial-level fan-out.
+    /// the scatter/collision-count phase fans out, in one of two
+    /// partitions picked per backend by [`scatter_plan`]:
+    ///
+    /// * **Receiver id range** (CSR): each worker streams the full
+    ///   transmitter list over the rows but writes [`HitRecord`]s only
+    ///   for its disjoint node range — no merge step, no atomics.
+    /// * **Transmitter shard** (implicit backends, whose range queries
+    ///   replay whole rows): each worker generates its own shard's rows
+    ///   exactly once, and a deterministic receiver-keyed merge drains
+    ///   the buckets in shard order — which *is* the serial transmitter
+    ///   order — so every receiver resolves to the serial outcome.
+    ///
+    /// Either way the delivery order (ascending receiver id) is
+    /// unchanged, so serial and N-thread runs are bit-identical *by
+    /// construction* — the same guarantee the sweep layer gives for
+    /// trial-level fan-out.
     pub fn run_par<P: Protocol>(
         &mut self,
         protocol: &mut P,
@@ -882,10 +1025,11 @@ impl<'g, T: Topology> Engine<'g, T> {
 
     /// The transmit-phase scatter shared by the v1 and fused cores:
     /// clears and refills `touched` (and this round's stamped `hits`
-    /// records) from `transmitters`, fanning out over receiver-range
-    /// workers when the round's edge volume pays for the scoped-thread
-    /// spawn. Returns whether `touched` ended up in ascending receiver
-    /// order (the parallel merge produces that for free; the serial path
+    /// records) from `transmitters`, fanning out when the round's edge
+    /// volume pays for the scoped-thread spawns — partitioned by
+    /// receiver range or by transmitter shard per [`scatter_plan`].
+    /// Returns whether `touched` ended up in ascending receiver order
+    /// (both parallel paths produce that for free; the serial path
     /// leaves transmitter-scan order).
     ///
     /// Scatter through [`Topology`] queries: for the CSR backend
@@ -893,10 +1037,10 @@ impl<'g, T: Topology> Engine<'g, T> {
     /// neighbors array (the pre-generic code), and each target update
     /// touches exactly one `HitRecord` line. Duplicate-freedom of the
     /// backend's rows is load-bearing here: a neighbor reported twice
-    /// would flip a clean first hit into a phantom collision. The serial
-    /// and parallel paths compute the same `hits`/`touched` state, so
-    /// the fan-out heuristic cannot influence results (and therefore
-    /// neither can the thread count).
+    /// would flip a clean first hit into a phantom collision. All paths
+    /// compute the same `hits`/`touched` state, so the plan heuristic
+    /// cannot influence results (and therefore neither can the thread
+    /// count).
     fn scatter_round(
         &mut self,
         graph: &T,
@@ -907,41 +1051,51 @@ impl<'g, T: Topology> Engine<'g, T> {
     ) -> bool {
         let n = self.hits.len();
         self.touched.clear();
-        let threads_now = if threads > 1 && transmitters.len() > 1 {
+        let plan = if threads > 1 && transmitters.len() > 1 {
             // Edge-volume heuristic on `degree_hint` — exact for CSR,
             // an upper-bound estimate for implicit backends. Purely a
             // perf threshold: it picks a path, never changes what the
             // path computes.
             let edges: u64 = transmitters.iter().map(|&u| graph.degree_hint(u)).sum();
-            if edges >= self.cfg.par_min_edges {
-                threads.min(n)
-            } else {
-                1
-            }
+            scatter_plan(
+                &self.cfg,
+                graph.range_query_cost(),
+                threads,
+                n,
+                transmitters.len(),
+                edges,
+            )
         } else {
-            1
+            ScatterPlan::Serial
         };
-        if threads_now <= 1 {
-            let hits = &mut self.hits;
-            let touched = &mut self.touched;
-            for &u in transmitters {
-                graph.for_each_out(u, |v| {
-                    let h = &mut hits[v as usize];
-                    if h.stamp | 1 != hit_many {
-                        // First hit this round: remember the transmitter.
-                        *h = HitRecord {
-                            stamp: hit_once,
-                            source: u,
-                        };
-                        touched.push(v);
-                    } else {
-                        // Second or later hit: mark collided.
-                        h.stamp = hit_many;
-                    }
-                });
+        let t = match plan {
+            ScatterPlan::Serial => {
+                let hits = &mut self.hits;
+                let touched = &mut self.touched;
+                for &u in transmitters {
+                    graph.for_each_out(u, |v| {
+                        let h = &mut hits[v as usize];
+                        if h.stamp | 1 != hit_many {
+                            // First hit this round: remember the transmitter.
+                            *h = HitRecord {
+                                stamp: hit_once,
+                                source: u,
+                            };
+                            touched.push(v);
+                        } else {
+                            // Second or later hit: mark collided.
+                            h.stamp = hit_many;
+                        }
+                    });
+                }
+                return false;
             }
-            return false;
-        }
+            ScatterPlan::TransmitterShard { threads } => {
+                self.scatter_transmitter_shard(graph, transmitters, hit_once, hit_many, threads);
+                return true;
+            }
+            ScatterPlan::ReceiverRange { threads } => threads,
+        };
         // Receiver-range partition reformulated as a neighbor-*query*
         // partition: worker `w` owns node ids `[w·n/t, (w+1)·n/t)` and
         // is the only writer of that `hits` range. Every worker walks
@@ -949,11 +1103,11 @@ impl<'g, T: Topology> Engine<'g, T> {
         // the topology only for neighbors inside its range — CSR
         // narrows the sorted row with two binary searches; implicit
         // backends regenerate the row and filter (O(t·deg) total, the
-        // price of not storing rows). For any fixed receiver the
+        // price of not storing rows — [`scatter_plan`] steers those to
+        // the transmitter shard instead). For any fixed receiver the
         // sequence of first-hit/collision updates is exactly the serial
         // one, because rows are duplicate-free and per-row order is
         // fixed per backend.
-        let t = threads_now;
         if self.par_touched.len() < t {
             self.par_touched.resize_with(t, Vec::new);
         }
@@ -1009,6 +1163,127 @@ impl<'g, T: Topology> Engine<'g, T> {
             self.touched.extend_from_slice(w);
         }
         true
+    }
+
+    /// The transmitter-sharded scatter: generate each row **exactly
+    /// once**, then merge hits deterministically.
+    ///
+    /// **Emit** — the transmitter list is cut into `t` contiguous
+    /// shards; worker `w` walks each owned row once via `for_each_out`
+    /// (O(total edges) across all workers — no per-range row replay,
+    /// which is what makes implicit backends scale) and pushes
+    /// `(receiver, transmitter)` records into its own bucket for the
+    /// receiver's merge range, `r = ⌊v·t/n⌋`.
+    ///
+    /// **Merge** — worker `r` exclusively owns the `hits` slice
+    /// `[⌈r·n/t⌉, ⌈(r+1)·n/t⌉)` — exactly the receivers whose bucket
+    /// index is `r` — and drains buckets `shard_hits[0][r], …,
+    /// shard_hits[t−1][r]` in that order. Shards tile the serial
+    /// transmitter order and a duplicate-free row visits a receiver at
+    /// most once, so for any fixed receiver the merged record sequence
+    /// *is* the serial hit sequence: the first record is the serial
+    /// first hit (the earliest transmitter in poll order), any later
+    /// record marks the same collision the serial loop would. Results
+    /// are bit-identical to serial by construction, independent of
+    /// thread count and of where shard boundaries fall — even mid-
+    /// collision, with two hitters of one receiver in different shards.
+    ///
+    /// Each merge worker sorts its own touched range; ranges ascend
+    /// with `r`, so concatenation yields the globally ascending
+    /// receiver order (same `touched_sorted` contract as the
+    /// receiver-range path). Costs one extra thread-scope barrier per
+    /// round relative to receiver-range — the price of not replaying
+    /// rows per range.
+    fn scatter_transmitter_shard(
+        &mut self,
+        graph: &T,
+        transmitters: &[NodeId],
+        hit_once: u32,
+        hit_many: u32,
+        t: usize,
+    ) {
+        let n = self.hits.len();
+        debug_assert!(t >= 2 && t <= n && t <= transmitters.len());
+        if self.shard_hits.len() < t {
+            self.shard_hits.resize_with(t, Vec::new);
+        }
+        for row in &mut self.shard_hits[..t] {
+            if row.len() < t {
+                row.resize_with(t, Vec::new);
+            }
+            for bucket in &mut row[..t] {
+                bucket.clear();
+            }
+        }
+        if self.par_touched.len() < t {
+            self.par_touched.resize_with(t, Vec::new);
+        }
+        let (nn, tt) = (n as u64, t as u64);
+        // Emit phase: t − 1 spawned workers plus the calling thread on
+        // the last shard; each worker mutates only its own bucket row.
+        std::thread::scope(|scope| {
+            let mut lo = 0usize;
+            for (w, buckets) in self.shard_hits[..t].iter_mut().enumerate() {
+                let hi = (w + 1) * transmitters.len() / t;
+                let shard = &transmitters[lo..hi];
+                let emit = move |buckets: &mut [Vec<(NodeId, NodeId)>]| {
+                    for &u in shard {
+                        graph.for_each_out(u, |v| {
+                            let r = (u64::from(v) * tt / nn) as usize;
+                            buckets[r].push((v, u));
+                        });
+                    }
+                };
+                if w + 1 == t {
+                    emit(buckets);
+                } else {
+                    scope.spawn(move || emit(&mut buckets[..]));
+                }
+                lo = hi;
+            }
+        });
+        // Merge phase: buckets are read-only now; the hits ranges and
+        // touched lists are disjoint per worker.
+        let shard_hits = &self.shard_hits;
+        let mut rest: &mut [HitRecord] = &mut self.hits;
+        let mut lo = 0usize;
+        std::thread::scope(|scope| {
+            for (r, touched_w) in self.par_touched[..t].iter_mut().enumerate() {
+                let hi = (((r as u64 + 1) * nn + tt - 1) / tt) as usize;
+                let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(hi - lo);
+                rest = tail;
+                touched_w.clear();
+                touched_w.reserve(hi - lo);
+                let merge = move |chunk: &mut [HitRecord], touched_w: &mut Vec<NodeId>| {
+                    for row in &shard_hits[..t] {
+                        for &(v, u) in &row[r] {
+                            let h = &mut chunk[v as usize - lo];
+                            if h.stamp | 1 != hit_many {
+                                // Serial-order first hit for v.
+                                *h = HitRecord {
+                                    stamp: hit_once,
+                                    source: u,
+                                };
+                                touched_w.push(v);
+                            } else {
+                                h.stamp = hit_many;
+                            }
+                        }
+                    }
+                    touched_w.sort_unstable();
+                };
+                if r + 1 == t {
+                    merge(chunk, touched_w);
+                } else {
+                    scope.spawn(move || merge(chunk, touched_w));
+                }
+                lo = hi;
+            }
+        });
+        debug_assert_eq!(lo, n, "merge ranges must tile the hits array");
+        for w in &self.par_touched[..t] {
+            self.touched.extend_from_slice(w);
+        }
     }
 
     /// Run `protocol` to completion (or the round cap) under the **v2
@@ -2538,6 +2813,85 @@ mod tests {
         let serial = run_at(1);
         for threads in [2, 3, 8] {
             assert_eq!(serial, run_at(threads), "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn scatter_plan_picks_strategy_per_backend_and_threshold() {
+        use RangeQueryCost::{FullRowReplay, Narrowed};
+        let cfg = EngineConfig::default();
+        // Auto + cheap range queries: receiver-range above par_min_edges.
+        assert_eq!(
+            scatter_plan(&cfg, Narrowed, 8, 10_000, 100, PAR_SCATTER_MIN_EDGES),
+            ScatterPlan::ReceiverRange { threads: 8 }
+        );
+        assert_eq!(
+            scatter_plan(&cfg, Narrowed, 8, 10_000, 100, PAR_SCATTER_MIN_EDGES - 1),
+            ScatterPlan::Serial
+        );
+        // Auto + full-row-replay range queries: transmitter shard, gated
+        // on the lower implicit threshold.
+        assert_eq!(
+            scatter_plan(&cfg, FullRowReplay, 8, 10_000, 100, PAR_SCATTER_MIN_EDGES_IMPLICIT),
+            ScatterPlan::TransmitterShard { threads: 8 }
+        );
+        assert_eq!(
+            scatter_plan(
+                &cfg,
+                FullRowReplay,
+                8,
+                10_000,
+                100,
+                PAR_SCATTER_MIN_EDGES_IMPLICIT - 1
+            ),
+            ScatterPlan::Serial
+        );
+        // The calibration point of the satellite fix: an edge volume
+        // between the two thresholds fans out on implicit backends
+        // (every edge carries generation work) but not on CSR.
+        assert!(PAR_SCATTER_MIN_EDGES_IMPLICIT < PAR_SCATTER_MIN_EDGES);
+        let mid = (PAR_SCATTER_MIN_EDGES_IMPLICIT + PAR_SCATTER_MIN_EDGES) / 2;
+        assert_eq!(
+            scatter_plan(&cfg, FullRowReplay, 8, 10_000, 100, mid),
+            ScatterPlan::TransmitterShard { threads: 8 }
+        );
+        assert_eq!(scatter_plan(&cfg, Narrowed, 8, 10_000, 100, mid), ScatterPlan::Serial);
+    }
+
+    #[test]
+    fn scatter_plan_honors_overrides_and_caps() {
+        use RangeQueryCost::{FullRowReplay, Narrowed};
+        let shard = EngineConfig::default().with_scatter_strategy(ScatterStrategy::TransmitterShard);
+        let range = EngineConfig::default().with_scatter_strategy(ScatterStrategy::ReceiverRange);
+        // Overrides beat the backend hint (both directions).
+        assert_eq!(
+            scatter_plan(&shard, Narrowed, 4, 1_000, 500, 1 << 20),
+            ScatterPlan::TransmitterShard { threads: 4 }
+        );
+        assert_eq!(
+            scatter_plan(&range, FullRowReplay, 4, 1_000, 500, 1 << 20),
+            ScatterPlan::ReceiverRange { threads: 4 }
+        );
+        // Worker caps: shards never outnumber transmitters, ranges never
+        // outnumber nodes.
+        assert_eq!(
+            scatter_plan(&shard, FullRowReplay, 16, 1_000, 3, 1 << 20),
+            ScatterPlan::TransmitterShard { threads: 3 }
+        );
+        assert_eq!(
+            scatter_plan(&range, Narrowed, 16, 5, 4, 1 << 20),
+            ScatterPlan::ReceiverRange { threads: 5 }
+        );
+        // Degenerate rounds stay serial under every strategy.
+        for cfg in [shard, range] {
+            assert_eq!(
+                scatter_plan(&cfg, FullRowReplay, 1, 1_000, 500, 1 << 20),
+                ScatterPlan::Serial
+            );
+            assert_eq!(
+                scatter_plan(&cfg, FullRowReplay, 8, 1_000, 1, 1 << 20),
+                ScatterPlan::Serial
+            );
         }
     }
 

@@ -91,7 +91,7 @@ pub use engine::{
     run_dynamic, run_dynamic_energy, run_protocol_energy, run_protocol_energy_traced,
     run_protocol_fused, run_protocol_fused_energy, run_protocol_fused_energy_traced,
     run_protocol_fused_traced, run_protocol_par, run_protocol_par_energy, run_protocol_traced,
-    EnergyRunResult, Engine, EngineConfig, RunResult,
+    scatter_plan, EnergyRunResult, Engine, EngineConfig, RunResult, ScatterPlan, ScatterStrategy,
 };
 pub use fault::{CrashPlan, Faulty};
 pub use metrics::{EnergyMetrics, Metrics, RoundRecord, Trace};

@@ -21,7 +21,7 @@ pub mod table;
 pub use bitset::BitSet;
 pub use fsio::write_atomic;
 pub use json::Json;
-pub use rng::{derive_rng, split_seed, SeedSequence};
+pub use rng::{derive_rng, split_seed, split_seed_indexed, split_seed_prefix, SeedSequence};
 pub use table::TextTable;
 
 /// Integer base-2 logarithm, rounded down. `ilog2_floor(1) == 0`.

@@ -112,14 +112,14 @@ pub mod prelude {
     pub use radio_graph::generate::*;
     pub use radio_graph::{
         induced_subgraph, largest_scc, strongly_connected_components, DiGraph, GridIndex,
-        ImplicitGnp, ImplicitGrid, NodeId, Subgraph, Topology,
+        ImplicitGnp, ImplicitGrid, NodeId, RangeQueryCost, Subgraph, Topology,
     };
     pub use radio_sim::{
         run_dynamic, run_dynamic_energy, run_protocol_energy, run_protocol_energy_traced,
         run_protocol_fused, run_protocol_fused_energy, run_protocol_fused_energy_traced,
         run_protocol_fused_traced, run_protocol_traced, CrashPlan, DecideStreams, EnergyRunResult,
-        Engine, EngineConfig, Faulty, FusedDecide, Metrics, Protocol, RunResult, Sweep, SweepCell,
-        SweepReport, TracePlan, TrialEnergy, TrialResult,
+        Engine, EngineConfig, Faulty, FusedDecide, Metrics, Protocol, RunResult, ScatterStrategy,
+        Sweep, SweepCell, SweepReport, TracePlan, TrialEnergy, TrialResult,
     };
     pub use radio_stats::{mean, quantile, LinearFit, SummaryStats};
     pub use radio_trace::{

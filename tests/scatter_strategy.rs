@@ -1,0 +1,283 @@
+//! Scatter-strategy bit-identity: the parallel scatter's partition
+//! choice — serial, receiver-range, or transmitter-sharded — and its
+//! thread count are pure performance knobs. For every backend
+//! ({CSR, ImplicitGrid, ImplicitGnp}), half-duplex setting, strategy,
+//! and thread count in {1, 2, 4, 8}, the full `RunResult` (rounds,
+//! metrics, trace) and the protocol's observable state must equal the
+//! serial run bit for bit.
+//!
+//! The adversarial companion pins the transmitter-sharded merge where
+//! it could plausibly break: shard boundaries landing *mid-collision*,
+//! with two or more transmitters hitting one receiver from different
+//! shards.
+
+use adhoc_radio::prelude::*;
+use adhoc_radio::sim::{run_protocol_par, ScatterStrategy};
+use adhoc_radio::util::split_seed;
+use proptest::prelude::*;
+
+/// Coin-flip transmitters with a small send budget (copied from the
+/// determinism suite's idiom): consumes the shared serial RNG in
+/// decide/delivery order, so any scatter divergence — ordering,
+/// collision marking, touched-list merge — cascades into different
+/// rounds, metrics, and traces.
+struct CoinProto {
+    informed: Vec<bool>,
+    n_informed: usize,
+    sent: Vec<u32>,
+}
+
+impl CoinProto {
+    fn new(n: usize) -> Self {
+        let mut informed = vec![false; n];
+        informed[0] = true;
+        CoinProto {
+            informed,
+            n_informed: 1,
+            sent: vec![0; n],
+        }
+    }
+}
+
+impl adhoc_radio::sim::Protocol for CoinProto {
+    type Msg = ();
+    fn initially_awake(&self) -> Vec<u32> {
+        vec![0]
+    }
+    fn decide(
+        &mut self,
+        node: u32,
+        _round: u64,
+        rng: &mut rand_chacha::ChaCha8Rng,
+    ) -> adhoc_radio::sim::Action {
+        use adhoc_radio::sim::Action;
+        use rand::RngExt;
+        if self.sent[node as usize] >= 3 {
+            return Action::Sleep;
+        }
+        if self.informed[node as usize] && rng.random_bool(0.4) {
+            self.sent[node as usize] += 1;
+            Action::Transmit
+        } else {
+            Action::Silent
+        }
+    }
+    fn payload(&self, _node: u32, _round: u64) -> Self::Msg {}
+    fn on_receive(
+        &mut self,
+        node: u32,
+        _from: u32,
+        _round: u64,
+        _msg: &Self::Msg,
+        _rng: &mut rand_chacha::ChaCha8Rng,
+    ) {
+        if !self.informed[node as usize] {
+            self.informed[node as usize] = true;
+            self.n_informed += 1;
+        }
+    }
+    fn is_complete(&self) -> bool {
+        self.n_informed == self.informed.len()
+    }
+    fn informed_count(&self) -> usize {
+        self.n_informed
+    }
+    fn active_count(&self) -> usize {
+        self.n_informed
+    }
+}
+
+/// Engine config pinning one scatter strategy, with both edge-volume
+/// thresholds zeroed so even toy graphs take the parallel paths.
+fn cfg(strategy: ScatterStrategy, half_duplex: bool) -> EngineConfig {
+    EngineConfig {
+        half_duplex,
+        par_min_edges: 0,
+        par_min_edges_implicit: 0,
+        ..EngineConfig::with_max_rounds(200).traced()
+    }
+    .with_scatter_strategy(strategy)
+}
+
+type Fingerprint = (
+    u64,
+    bool,
+    bool,
+    adhoc_radio::sim::Metrics,
+    Option<adhoc_radio::sim::Trace>,
+    Vec<bool>,
+    Vec<u32>,
+);
+
+fn run_one<T: Topology>(
+    t: &T,
+    strategy: ScatterStrategy,
+    half_duplex: bool,
+    threads: usize,
+    seed: u64,
+) -> Fingerprint {
+    let mut proto = CoinProto::new(Topology::n(t));
+    let mut rng = derive_rng(seed, b"scatter-run", 0);
+    let res = run_protocol_par(t, &mut proto, cfg(strategy, half_duplex), &mut rng, threads);
+    (
+        res.rounds,
+        res.completed,
+        res.hit_round_cap,
+        res.metrics,
+        res.trace,
+        proto.informed,
+        proto.sent,
+    )
+}
+
+/// Every (strategy, thread count) must reproduce the serial run.
+fn check_all_strategies<T: Topology>(t: &T, half_duplex: bool, seed: u64, label: &str) {
+    let serial = run_one(t, ScatterStrategy::Auto, half_duplex, 1, seed);
+    for strategy in [
+        ScatterStrategy::Auto,
+        ScatterStrategy::ReceiverRange,
+        ScatterStrategy::TransmitterShard,
+    ] {
+        for threads in [1usize, 2, 4, 8] {
+            let got = run_one(t, strategy, half_duplex, threads, seed);
+            assert_eq!(
+                serial, got,
+                "{label} half_duplex={half_duplex} {strategy:?} x {threads} threads diverged"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Bit-identity across every backend × strategy × thread count ×
+    /// half-duplex: the scatter plan cannot influence `RunResult`.
+    #[test]
+    fn scatter_strategy_and_threads_cannot_influence_results(
+        n in 48usize..160,
+        d in 6.0f64..14.0,
+        seed in 0u64..1_000_000,
+        half_duplex in any::<bool>(),
+    ) {
+        let csr = gnp_directed(n, (d / n as f64).min(0.9), &mut derive_rng(seed, b"sc-g", 0));
+        check_all_strategies(&csr, half_duplex, seed, "csr");
+
+        let grid = ImplicitGrid::with_expected_degree(n, d, &mut derive_rng(seed, b"sc-g", 1));
+        check_all_strategies(&grid, half_duplex, seed, "grid");
+
+        let gnp = ImplicitGnp::with_expected_degree(n, d, split_seed(seed, b"sc-g", 2));
+        check_all_strategies(&gnp, half_duplex, seed, "gnp");
+    }
+}
+
+/// One-round storm that records exactly who delivered to whom.
+struct ListedStorm {
+    is_tx: Vec<bool>,
+    heard: Vec<Vec<u32>>,
+}
+
+impl adhoc_radio::sim::Protocol for ListedStorm {
+    type Msg = ();
+    fn initially_awake(&self) -> Vec<u32> {
+        (0..self.is_tx.len() as u32).collect()
+    }
+    fn decide(
+        &mut self,
+        node: u32,
+        _round: u64,
+        _rng: &mut rand_chacha::ChaCha8Rng,
+    ) -> adhoc_radio::sim::Action {
+        if self.is_tx[node as usize] {
+            adhoc_radio::sim::Action::Transmit
+        } else {
+            adhoc_radio::sim::Action::Silent
+        }
+    }
+    fn payload(&self, _node: u32, _round: u64) -> Self::Msg {}
+    fn on_receive(
+        &mut self,
+        node: u32,
+        from: u32,
+        _round: u64,
+        _msg: &Self::Msg,
+        _rng: &mut rand_chacha::ChaCha8Rng,
+    ) {
+        self.heard[node as usize].push(from);
+    }
+    fn is_complete(&self) -> bool {
+        false
+    }
+    fn informed_count(&self) -> usize {
+        0
+    }
+    fn active_count(&self) -> usize {
+        self.is_tx.len()
+    }
+}
+
+/// Adversarial shard boundaries: transmitters 0..8 all transmit in one
+/// round, so with 2/4/8 shard workers the shard cuts land *inside*
+/// every multi-hit receiver's transmitter set. The merge must still
+/// resolve each receiver to the serial outcome: collision where ≥ 2
+/// transmitters hit (even from different shards), delivery from the
+/// earliest transmitter where exactly one hit.
+#[test]
+fn transmitter_shard_boundaries_mid_collision_resolve_serially() {
+    let n_tx = 8u32;
+    let n = 14usize;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    // Receiver 9: hit by ALL eight transmitters — every shard cut at
+    // t ∈ {2, 4, 8} splits this collision across shards.
+    for u in 0..n_tx {
+        edges.push((u, 9));
+    }
+    // Receiver 10: exactly one hit (transmitter 0) — clean delivery.
+    edges.push((0, 10));
+    // Receiver 11: exactly one hit from the *last* shard.
+    edges.push((7, 11));
+    // Receiver 12: two hits from the first and last shard — a
+    // collision whose members never share a worker.
+    edges.push((0, 12));
+    edges.push((7, 12));
+    // Receiver 13: two hits from within one shard at t = 4.
+    edges.push((6, 13));
+    edges.push((7, 13));
+    edges.sort_unstable();
+    let g = DiGraph::from_edges(n, &edges);
+
+    let run_at = |strategy: ScatterStrategy, threads: usize| {
+        let mut proto = ListedStorm {
+            is_tx: (0..n).map(|u| (u as u32) < n_tx).collect(),
+            heard: vec![Vec::new(); n],
+        };
+        let mut rng = derive_rng(77, b"storm", 0);
+        let cfg = EngineConfig {
+            par_min_edges: 0,
+            par_min_edges_implicit: 0,
+            ..EngineConfig::with_max_rounds(1)
+        }
+        .with_scatter_strategy(strategy);
+        let res = run_protocol_par(&g, &mut proto, cfg, &mut rng, threads);
+        (res.metrics, proto.heard)
+    };
+
+    let (serial_metrics, serial_heard) = run_at(ScatterStrategy::Auto, 1);
+    // Semantic ground truth, checked once on the serial oracle.
+    assert!(serial_heard[9].is_empty(), "8-way collision must deliver nothing");
+    assert!(serial_heard[12].is_empty(), "cross-shard 2-way collision");
+    assert!(serial_heard[13].is_empty(), "intra-shard 2-way collision");
+    assert_eq!(serial_heard[10], vec![0], "single hit delivers its source");
+    assert_eq!(serial_heard[11], vec![7], "single hit from the last shard");
+
+    for strategy in [ScatterStrategy::TransmitterShard, ScatterStrategy::ReceiverRange] {
+        for threads in [2usize, 4, 8] {
+            let got = run_at(strategy, threads);
+            assert_eq!(
+                (&serial_metrics, &serial_heard),
+                (&got.0, &got.1),
+                "{strategy:?} x {threads} threads diverged"
+            );
+        }
+    }
+}

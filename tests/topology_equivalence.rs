@@ -70,6 +70,7 @@ fn implicit_gnp_rows_match_materialization() {
 fn par_cfg(max_rounds: u64, threads: usize) -> EngineConfig {
     let mut cfg = EngineConfig::with_max_rounds(max_rounds).with_threads(threads);
     cfg.par_min_edges = 0;
+    cfg.par_min_edges_implicit = 0;
     cfg.par_min_awake = 0;
     cfg
 }
